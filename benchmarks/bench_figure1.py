@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of Figure 1 (scanning-strategy scopes)."""
+
+from repro.analysis.figure1 import render_figure1, run_figure1
+
+from benchmarks.conftest import save_artifact
+
+
+def test_figure1(benchmark, dataset, artifact_dir):
+    result = benchmark.pedantic(
+        run_figure1, args=(dataset,), rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "figure1.txt", render_figure1(result))
+    assert (
+        result.iana_slash0
+        > result.iana_allocated
+        > result.bgp_announced
+        > max(result.hitlist_sizes.values())
+    )

@@ -1,0 +1,16 @@
+"""Benchmark + regeneration of the found-vs-missed host analysis (§5)."""
+
+from repro.analysis.missed import render_missed_hosts, run_missed_hosts
+
+from benchmarks.conftest import save_artifact
+
+
+def test_missed_hosts(benchmark, dataset, artifact_dir):
+    result = benchmark.pedantic(
+        run_missed_hosts, args=(dataset,), rounds=1, iterations=1
+    )
+    save_artifact(
+        artifact_dir, "missed_hosts.txt", render_missed_hosts(result)
+    )
+    assert result.found_count > result.missed_count
+    assert 0.0 <= result.kind_divergence <= 1.0
