@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and record the perf trajectory.
+
+Runs pytest over ``benchmarks/`` with ``pytest-benchmark`` JSON output
+enabled, writing ``BENCH_<preset>.json`` at the repository root so the
+performance trajectory of every preset is tracked in-tree.
+
+Usage::
+
+    python benchmarks/run_bench.py [--preset small] [pytest args...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--preset",
+        default=os.environ.get("REPRO_BENCH_PRESET", "small"),
+        choices=("tiny", "small", "medium"),
+        help="dataset preset to benchmark against",
+    )
+    args, pytest_args = parser.parse_known_args(argv)
+
+    env = dict(os.environ)
+    env["REPRO_BENCH_PRESET"] = args.preset
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks",
+        "-q",
+        f"--benchmark-json={ROOT / f'BENCH_{args.preset}.json'}",
+        *pytest_args,
+    ]
+    print("+", " ".join(command), flush=True)
+    return subprocess.call(command, cwd=ROOT, env=env)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Reproduction of Klick et al., "Towards Better Internet Citizenship:
+Reducing the Footprint of Internet-wide Scans by Topology Aware Prefix
+Selection" (IMC 2016).
+
+The package is organised in five layers:
+
+- ``repro.census``  — responsive-address sets and the synthetic census
+  dataset generator (snapshots of responsive hosts per protocol/month).
+- ``repro.bgp``     — routing-table model: prefixes, the less-/more-
+  specific partitions, deaggregation, and MRT RIB import/export.
+- ``repro.core``    — the TASS algorithm itself: per-prefix density
+  counting, phi-threshold selection, campaign simulation, and the
+  /24-clustering refinement used in the ablations.
+- ``repro.scan``    — the zmap-class probe substrate: cyclic-group
+  permutations, blocklist filtering, and the batched scan engine.
+- ``repro.analysis``— regeneration of every figure/table of the paper.
+
+Every hot path operates on sorted NumPy ``int64`` address arrays; no
+per-address work is ever done in a Python-level loop (the pure-Python
+radix trie in :mod:`repro.core.density` is the deliberate slow
+reference that the counting ablation compares against).
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,1 @@
+"""Analysis layer: regeneration of every figure and table of the paper."""

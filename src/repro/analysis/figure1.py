@@ -1,0 +1,68 @@
+"""Figure 1: the nested scopes a scanning strategy can target.
+
+The full /0, the IANA-allocated blocks, the BGP-announced space, and
+the per-protocol hitlists form a strict chain of inclusions — the
+figure the paper opens with to motivate scanning less than /0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_count, format_table
+from repro.bgp.table import LESS_SPECIFIC
+
+__all__ = ["Figure1Result", "run_figure1", "render_figure1"]
+
+
+@dataclass
+class Figure1Result:
+    iana_slash0: int
+    iana_allocated: int
+    bgp_announced: int
+    hitlist_sizes: dict = field(default_factory=dict)
+
+
+def run_figure1(dataset) -> Figure1Result:
+    topology = dataset.topology
+    announced = topology.table.partition(LESS_SPECIFIC).address_count()
+    hitlists = {
+        protocol: len(dataset.series_for(protocol).seed_snapshot)
+        for protocol in dataset.protocols
+    }
+    return Figure1Result(
+        iana_slash0=1 << 32,
+        iana_allocated=topology.allocated_address_count(),
+        bgp_announced=announced,
+        hitlist_sizes=hitlists,
+    )
+
+
+def render_figure1(result: Figure1Result) -> str:
+    slash0 = result.iana_slash0
+    rows = [
+        ("IPv4 /0", format_count(slash0), "1.0000"),
+        (
+            "IANA allocated",
+            format_count(result.iana_allocated),
+            f"{result.iana_allocated / slash0:.4f}",
+        ),
+        (
+            "BGP announced",
+            format_count(result.bgp_announced),
+            f"{result.bgp_announced / slash0:.4f}",
+        ),
+    ]
+    for protocol, size in sorted(result.hitlist_sizes.items()):
+        rows.append(
+            (
+                f"hitlist ({protocol})",
+                format_count(size),
+                f"{size / slash0:.6f}",
+            )
+        )
+    return format_table(
+        ["scope", "addresses", "fraction of /0"],
+        rows,
+        title="Figure 1: scanning-strategy scopes",
+    )

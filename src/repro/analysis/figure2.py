@@ -1,0 +1,72 @@
+"""Figure 2: deaggregation of the routing table into m-prefixes.
+
+Decomposes the whole table into the most-specific non-overlapping
+partition and reports how announcement counts shift toward longer
+prefixes — while covering exactly the same announced space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.bgp.table import LESS_SPECIFIC, MORE_SPECIFIC
+
+__all__ = ["Figure2Result", "run_figure2", "render_figure2"]
+
+
+@dataclass
+class Figure2Result:
+    n_less: int
+    n_more: int
+    announced: int
+    partition_covers_announced: bool
+    length_hist_less: dict = field(default_factory=dict)
+    length_hist_more: dict = field(default_factory=dict)
+
+
+def _length_hist(partition) -> dict:
+    lengths, counts = np.unique(partition.lengths, return_counts=True)
+    return dict(zip(lengths.tolist(), counts.tolist()))
+
+
+def run_figure2(dataset) -> Figure2Result:
+    table = dataset.topology.table
+    less = table.partition(LESS_SPECIFIC)
+    more = table.partition(MORE_SPECIFIC)
+    return Figure2Result(
+        n_less=len(less),
+        n_more=len(more),
+        announced=less.address_count(),
+        partition_covers_announced=(
+            more.address_count() == less.address_count()
+        ),
+        length_hist_less=_length_hist(less),
+        length_hist_more=_length_hist(more),
+    )
+
+
+def render_figure2(result: Figure2Result) -> str:
+    lengths = sorted(
+        set(result.length_hist_less) | set(result.length_hist_more)
+    )
+    rows = [
+        (
+            f"/{length}",
+            result.length_hist_less.get(length, 0),
+            result.length_hist_more.get(length, 0),
+        )
+        for length in lengths
+    ]
+    rows.append(("total", result.n_less, result.n_more))
+    return format_table(
+        ["prefix length", "l-prefixes", "m-prefixes"],
+        rows,
+        title=(
+            "Figure 2: prefix deaggregation "
+            f"(partition covers announced: "
+            f"{result.partition_covers_announced})"
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Figure 5: hitlist hitrate over time.
+
+Scanning the seed hitlist (the exact responsive addresses of month 0)
+against every later month: server protocols retain ~80% after one
+month, CWMP collapses — renumbering destroys address-level lists.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+
+__all__ = ["Figure5Result", "run_figure5", "render_figure5"]
+
+
+class Figure5Result:
+    def __init__(self, rates):
+        self._rates = rates  # {protocol: [hitrate per month]}
+
+    def hitrates(self) -> dict:
+        return {p: list(r) for p, r in self._rates.items()}
+
+
+def run_figure5(dataset) -> Figure5Result:
+    rates = {}
+    for protocol in dataset.protocols:
+        series = dataset.series_for(protocol)
+        seed = series.seed_snapshot.addresses
+        rates[protocol] = [
+            snapshot.addresses.intersection_count(seed) / len(seed)
+            for snapshot in series
+        ]
+    return Figure5Result(rates)
+
+
+def render_figure5(result: Figure5Result) -> str:
+    rates = result.hitrates()
+    months = len(next(iter(rates.values())))
+    rows = [
+        (protocol, *(f"{r:.3f}" for r in series))
+        for protocol, series in sorted(rates.items())
+    ]
+    return format_table(
+        ["protocol", *(f"m{m}" for m in range(months))],
+        rows,
+        title="Figure 5: hitlist hitrate over time",
+    )

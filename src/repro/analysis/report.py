@@ -1,0 +1,36 @@
+"""Plain-text table rendering for regenerated figures and tables."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_count"]
+
+
+def format_count(n: int) -> str:
+    """Human-scale rendering of an address count (e.g. ``2.81B``)."""
+    n = int(n)
+    for threshold, suffix in ((10**9, "B"), (10**6, "M"), (10**3, "K")):
+        if abs(n) >= threshold:
+            return f"{n / threshold:.2f}{suffix}"
+    return str(n)
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Render an aligned monospace table with optional title."""
+    headers = [str(h) for h in headers]
+    body = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""BGP layer: routing-table model, prefix partitions, MRT RIB I/O."""

@@ -1,0 +1,56 @@
+"""Whole-table deaggregation into the more-specific partition (Figure 2).
+
+``partition_table`` decomposes a prefix forest into the most-specific
+non-overlapping cover of the same address space: every leaf announcement
+survives as-is, and the portion of each parent not covered by any child
+is split into maximal aligned CIDR blocks.  The result is the paper's
+"more-specific prefixes" view.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.table import Prefix
+
+__all__ = ["partition_table", "split_range"]
+
+
+def split_range(start: int, end: int):
+    """Yield maximal aligned CIDR prefixes exactly covering [start, end)."""
+    while start < end:
+        # Largest power-of-two block that is aligned at `start`...
+        align = start & -start if start else 1 << 32
+        # ...and does not overshoot the range.
+        span = end - start
+        block = 1 << (span.bit_length() - 1)
+        size = min(align, block)
+        yield Prefix(start, 32 - (size.bit_length() - 1))
+        start += size
+
+
+def partition_table(forest, top_level):
+    """Decompose a routing forest into disjoint most-specific prefixes.
+
+    ``forest`` maps every prefix to its direct children (possibly empty);
+    ``top_level`` lists the disjoint top-level announcements.  Returns
+    the parts sorted by network address; their sizes sum to the sizes of
+    the top-level prefixes (the announced space is preserved exactly).
+    """
+    parts = []
+
+    def visit(prefix: Prefix) -> None:
+        children = sorted(
+            forest.get(prefix) or (), key=lambda p: p.network
+        )
+        if not children:
+            parts.append(prefix)
+            return
+        cursor = prefix.start
+        for child in children:
+            parts.extend(split_range(cursor, child.start))
+            visit(child)
+            cursor = child.end
+        parts.extend(split_range(cursor, prefix.end))
+
+    for prefix in sorted(top_level, key=lambda p: p.network):
+        visit(prefix)
+    return parts

@@ -1,0 +1,129 @@
+"""Minimal MRT (RFC 6396) TABLE_DUMP_V2 RIB writer/reader.
+
+Implements the subset a pfx2as pipeline needs: one PEER_INDEX_TABLE
+record followed by one RIB_IPV4_UNICAST record per prefix, each with a
+single route entry carrying ORIGIN and a 4-byte-ASN AS_PATH attribute.
+The reader walks the same framing back and recovers (prefix, origin AS)
+pairs.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.bgp.table import Prefix
+
+__all__ = ["write_rib", "read_rib"]
+
+MRT_TABLE_DUMP_V2 = 13
+SUBTYPE_PEER_INDEX_TABLE = 1
+SUBTYPE_RIB_IPV4_UNICAST = 2
+
+_PEER_TYPE_AS4_IPV4 = 0x02
+_ATTR_ORIGIN = 1
+_ATTR_AS_PATH = 2
+_AS_SEQUENCE = 2
+_FLAG_TRANSITIVE = 0x40
+
+_HEADER = struct.Struct(">IHHI")
+
+
+def _mrt_record(timestamp: int, subtype: int, body: bytes) -> bytes:
+    return _HEADER.pack(timestamp, MRT_TABLE_DUMP_V2, subtype, len(body)) + body
+
+
+def _peer_index_table(collector_id: int = 0x0A000001) -> bytes:
+    body = struct.pack(">IH", collector_id, 0)  # no view name
+    body += struct.pack(">H", 1)  # one peer
+    body += struct.pack(
+        ">BIIi", _PEER_TYPE_AS4_IPV4, 0x0A000002, 0x0A000002, 64500
+    )
+    return body
+
+
+def _path_attributes(origin_asn: int) -> bytes:
+    origin = struct.pack(">BBBB", _FLAG_TRANSITIVE, _ATTR_ORIGIN, 1, 0)
+    segment = struct.pack(">BBII", _AS_SEQUENCE, 2, 64500, origin_asn)
+    as_path = (
+        struct.pack(">BBB", _FLAG_TRANSITIVE, _ATTR_AS_PATH, len(segment))
+        + segment
+    )
+    return origin + as_path
+
+
+def write_rib(path, entries, timestamp: int = 0) -> int:
+    """Write (Prefix, origin_asn) pairs as a TABLE_DUMP_V2 RIB dump.
+
+    Returns the number of RIB records written.
+    """
+    path = Path(path)
+    chunks = [_mrt_record(timestamp, SUBTYPE_PEER_INDEX_TABLE, _peer_index_table())]
+    count = 0
+    for seq, (prefix, asn) in enumerate(entries):
+        nbytes = (prefix.length + 7) // 8
+        pfx_bytes = prefix.network.to_bytes(4, "big")[:nbytes]
+        attrs = _path_attributes(int(asn))
+        body = (
+            struct.pack(">IB", seq, prefix.length)
+            + pfx_bytes
+            + struct.pack(">H", 1)  # one RIB entry
+            + struct.pack(">HIH", 0, timestamp, len(attrs))
+            + attrs
+        )
+        chunks.append(_mrt_record(timestamp, SUBTYPE_RIB_IPV4_UNICAST, body))
+        count += 1
+    path.write_bytes(b"".join(chunks))
+    return count
+
+
+def _parse_origin_asn(attrs: bytes) -> int | None:
+    offset = 0
+    while offset + 3 <= len(attrs):
+        flags, attr_type = attrs[offset], attrs[offset + 1]
+        if flags & 0x10:  # extended length
+            (alen,) = struct.unpack_from(">H", attrs, offset + 2)
+            offset += 4
+        else:
+            alen = attrs[offset + 2]
+            offset += 3
+        value = attrs[offset : offset + alen]
+        offset += alen
+        if attr_type == _ATTR_AS_PATH and len(value) >= 2:
+            count = value[1]
+            asns = struct.unpack_from(f">{count}I", value, 2)
+            if asns:
+                return asns[-1]
+    return None
+
+
+def read_rib(path):
+    """Parse a TABLE_DUMP_V2 dump back into (Prefix, origin_asn) pairs."""
+    data = Path(path).read_bytes()
+    out = []
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        _, mrt_type, subtype, length = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size
+        body = data[offset : offset + length]
+        offset += length
+        if mrt_type != MRT_TABLE_DUMP_V2:
+            continue
+        if subtype != SUBTYPE_RIB_IPV4_UNICAST:
+            continue
+        _, plen = struct.unpack_from(">IB", body, 0)
+        nbytes = (plen + 7) // 8
+        network = int.from_bytes(
+            body[5 : 5 + nbytes].ljust(4, b"\x00"), "big"
+        )
+        pos = 5 + nbytes
+        (entry_count,) = struct.unpack_from(">H", body, pos)
+        pos += 2
+        asn = None
+        for _ in range(entry_count):
+            _, _, attr_len = struct.unpack_from(">HIH", body, pos)
+            pos += 8
+            asn = _parse_origin_asn(body[pos : pos + attr_len])
+            pos += attr_len
+        out.append((Prefix(network, plen), asn))
+    return out

@@ -1,0 +1,12 @@
+"""Prefix-to-origin-AS mapping from MRT RIB dumps."""
+
+from __future__ import annotations
+
+from repro.bgp.mrt import read_rib
+
+__all__ = ["rib_to_pfx2as"]
+
+
+def rib_to_pfx2as(path):
+    """Parse an MRT RIB dump into a {Prefix: origin_asn} mapping."""
+    return {prefix: asn for prefix, asn in read_rib(path)}

@@ -1,0 +1,256 @@
+"""Routing-table model: prefixes, interval partitions, vectorized counting.
+
+The paper works with two complementary decompositions of the announced
+address space:
+
+- the **less-specific** view (``LESS_SPECIFIC``): the top-level
+  announcements only, covering prefixes with everything they aggregate;
+- the **more-specific** view (``MORE_SPECIFIC``): the most-specific
+  non-overlapping decomposition — every deaggregated child plus the
+  uncovered remainder of its parent, recursively.
+
+Both views are materialised as a :class:`Partition` — a sorted list of
+disjoint ``[start, end)`` intervals.  Counting responsive addresses per
+prefix (TASS step 2) is then two ``searchsorted`` calls over the sorted
+snapshot array, instead of a longest-prefix match per address (the
+radix-trie reference in :mod:`repro.core.density` that the ablation
+benchmark compares against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+__all__ = [
+    "LESS_SPECIFIC",
+    "MORE_SPECIFIC",
+    "Prefix",
+    "Partition",
+    "RoutingTable",
+    "interval_membership",
+    "count_in_intervals",
+    "ip_to_int",
+    "int_to_ip",
+]
+
+LESS_SPECIFIC = "less-specific"
+MORE_SPECIFIC = "more-specific"
+
+
+def interval_membership(starts, ends, values) -> np.ndarray:
+    """Mask: which values fall inside a sorted disjoint ``[start, end)`` set.
+
+    The shared one-``searchsorted`` membership idiom used by partitions,
+    selections, and blocklists alike.  ``starts``/``ends`` must be sorted
+    and non-overlapping.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    idx = np.searchsorted(starts, values, side="right") - 1
+    return (idx >= 0) & (values < ends[idx.clip(0)])
+
+
+def count_in_intervals(starts, ends, values) -> np.ndarray:
+    """Per-interval occupancy of a **sorted** value array.
+
+    The two-``searchsorted`` interval-counting pass: the number of values
+    inside ``[start_i, end_i)`` is the difference of the two insertion
+    points.  O((n + m) log) for the whole interval set.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    lo = np.searchsorted(values, starts, side="left")
+    hi = np.searchsorted(values, ends, side="left")
+    return hi - lo
+
+
+def ip_to_int(dotted: str) -> int:
+    a, b, c, d = (int(x) for x in dotted.split("."))
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def int_to_ip(value: int) -> str:
+    value = int(value)
+    return ".".join(str((value >> s) & 0xFF) for s in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, slots=True)
+class Prefix:
+    """An IPv4 CIDR prefix as (network integer, mask length)."""
+
+    network: int
+    length: int
+
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.length)
+
+    @property
+    def start(self) -> int:
+        return self.network
+
+    @property
+    def end(self) -> int:
+        return self.network + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    def covers(self, other: "Prefix") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    @classmethod
+    def from_cidr(cls, cidr: str) -> "Prefix":
+        net, length = cidr.split("/")
+        return cls(ip_to_int(net), int(length))
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+
+class Partition:
+    """A sorted set of disjoint ``[start, end)`` address intervals.
+
+    Table partitions carry their :class:`Prefix` objects; derived
+    partitions (e.g. the clustered-/24 refinement) are plain interval
+    sets.  ``count_addresses`` is the package's hottest routine: given a
+    *sorted* address array it returns the per-interval occupancy via the
+    two-``searchsorted`` interval-counting pass.
+    """
+
+    __slots__ = ("starts", "ends", "_prefixes", "__dict__")
+
+    def __init__(self, starts, ends, prefixes=None):
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.ends = np.asarray(ends, dtype=np.int64)
+        if self.starts.shape != self.ends.shape:
+            raise ValueError("starts/ends length mismatch")
+        if len(self.starts) > 1 and not (
+            self.starts[1:] >= self.ends[:-1]
+        ).all():
+            raise ValueError("partition intervals must be sorted disjoint")
+        self._prefixes = list(prefixes) if prefixes is not None else None
+
+    @classmethod
+    def from_prefixes(cls, prefixes) -> "Partition":
+        prefixes = sorted(prefixes, key=lambda p: p.network)
+        starts = np.fromiter(
+            (p.start for p in prefixes), dtype=np.int64, count=len(prefixes)
+        )
+        ends = np.fromiter(
+            (p.end for p in prefixes), dtype=np.int64, count=len(prefixes)
+        )
+        return cls(starts, ends, prefixes)
+
+    # -- structure -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.starts.shape[0])
+
+    @cached_property
+    def sizes(self) -> np.ndarray:
+        return self.ends - self.starts
+
+    @property
+    def prefixes(self):
+        if self._prefixes is None:
+            raise AttributeError(
+                "this partition is interval-based and has no Prefix objects"
+            )
+        return self._prefixes
+
+    @cached_property
+    def lengths(self) -> np.ndarray:
+        """Per-part prefix length (32 - log2 size for aligned parts)."""
+        if self._prefixes is not None:
+            return np.fromiter(
+                (p.length for p in self._prefixes),
+                dtype=np.int64,
+                count=len(self._prefixes),
+            )
+        return 32 - np.round(np.log2(self.sizes)).astype(np.int64)
+
+    def address_count(self) -> int:
+        return int(self.sizes.sum())
+
+    # -- vectorized hot paths -----------------------------------------
+
+    def count_addresses(self, values: np.ndarray) -> np.ndarray:
+        """Per-interval occupancy of a **sorted** int64 address array.
+
+        The two-``searchsorted`` interval-counting pass — the vectorized
+        backend the counting ablation benchmarks against the trie.
+        """
+        return count_in_intervals(self.starts, self.ends, values)
+
+    def index_of(self, values: np.ndarray) -> np.ndarray:
+        """Covering-interval index per address (-1 when uncovered)."""
+        values = np.asarray(values, dtype=np.int64)
+        idx = np.searchsorted(self.starts, values, side="right") - 1
+        safe = idx.clip(0)
+        inside = (idx >= 0) & (values < self.ends[safe])
+        return np.where(inside, safe, -1)
+
+    def membership(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask: which addresses fall inside any interval."""
+        return interval_membership(self.starts, self.ends, values)
+
+
+class RoutingTable:
+    """A BGP routing table as a forest of prefixes.
+
+    Top-level announcements (``l_prefixes``) are disjoint; deaggregated
+    more-specific announcements hang beneath them (possibly nested).
+    """
+
+    def __init__(self, l_prefixes, children=None):
+        self._l_prefixes = sorted(l_prefixes, key=lambda p: p.network)
+        self._children = {
+            parent: tuple(sorted(kids, key=lambda p: p.network))
+            for parent, kids in (children or {}).items()
+            if kids
+        }
+        self._partitions = {}
+
+    @property
+    def l_prefixes(self):
+        """The top-level (less-specific) announcements, sorted."""
+        return self._l_prefixes
+
+    @cached_property
+    def prefixes(self):
+        """All announced prefixes in preorder (parents before children)."""
+        out = []
+        stack = list(reversed(self._l_prefixes))
+        while stack:
+            p = stack.pop()
+            out.append(p)
+            stack.extend(reversed(self.children_of(p)))
+        return out
+
+    def children_of(self, prefix: Prefix):
+        return list(self._children.get(prefix, ()))
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def partition(self, view: str) -> Partition:
+        """The disjoint interval cover for the requested prefix view."""
+        try:
+            return self._partitions[view]
+        except KeyError:
+            pass
+        if view == LESS_SPECIFIC:
+            part = Partition.from_prefixes(self._l_prefixes)
+        elif view == MORE_SPECIFIC:
+            from repro.bgp.deaggregate import partition_table
+
+            forest = {p: self.children_of(p) for p in self.prefixes}
+            part = Partition.from_prefixes(
+                partition_table(forest, self._l_prefixes)
+            )
+        else:
+            raise ValueError(f"unknown prefix view: {view!r}")
+        self._partitions[view] = part
+        return part

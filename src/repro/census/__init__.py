@@ -1,0 +1,1 @@
+"""Census layer: responsive-address sets and synthetic census datasets."""

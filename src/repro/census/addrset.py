@@ -1,0 +1,142 @@
+"""Sorted-array IPv4 address sets.
+
+An :class:`AddressSet` is a sorted, duplicate-free ``int64`` NumPy array.
+All set algebra is array-at-a-time: union is a single vectorized merge of
+the two sorted operands, intersection/difference/membership are
+``searchsorted`` passes.  This representation is what makes the rest of
+the pipeline fast — per-prefix counting over a snapshot is two
+``searchsorted`` calls (see ``repro.bgp.table.Partition``), and the scan
+engine's per-batch responsive check is one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AddressSet"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _as_sorted_unique(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return np.unique(arr)  # sorts and removes duplicates
+
+
+class AddressSet:
+    """An immutable set of IPv4 addresses stored as a sorted int64 array."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values=(), *, assume_sorted_unique: bool = False):
+        if assume_sorted_unique:
+            arr = np.asarray(values, dtype=np.int64)
+        else:
+            arr = _as_sorted_unique(values)
+        arr.setflags(write=False)
+        self._values = arr
+
+    @classmethod
+    def _trusted(cls, arr: np.ndarray) -> "AddressSet":
+        return cls(arr, assume_sorted_unique=True)
+
+    # -- basic protocol ------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted, unique int64 address array (read-only view)."""
+        return self._values
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AddressSet(n={len(self)})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AddressSet):
+            return NotImplemented
+        return self._values.shape == other._values.shape and bool(
+            np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self):
+        return hash((len(self), self._values[:64].tobytes()))
+
+    def __contains__(self, address) -> bool:
+        a = self._values
+        i = int(np.searchsorted(a, address))
+        return i < len(a) and int(a[i]) == int(address)
+
+    # -- vectorized membership ----------------------------------------
+
+    def membership(self, probes: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``probes`` are in this set.
+
+        One ``searchsorted`` over the sorted member array — the same
+        O(m log n) pass a zmap-class simulator runs per probe batch.
+        """
+        a = self._values
+        probes = np.asarray(probes, dtype=np.int64)
+        if len(a) == 0 or probes.size == 0:
+            return np.zeros(probes.shape, dtype=bool)
+        idx = np.searchsorted(a, probes)
+        idx[idx == len(a)] = len(a) - 1
+        return a[idx] == probes
+
+    def intersection_count(self, other: "AddressSet") -> int:
+        """``len(self & other)`` without materialising the intersection."""
+        small, big = (
+            (self, other) if len(self) <= len(other) else (other, self)
+        )
+        return int(big.membership(small._values).sum())
+
+    # -- set algebra ---------------------------------------------------
+
+    def __or__(self, other: "AddressSet") -> "AddressSet":
+        a, b = self._values, other._values
+        if len(a) == 0:
+            return other
+        if len(b) == 0:
+            return self
+        # Merge-based union: splice b into a at its insertion points
+        # (one vectorized O(n+m) pass), then drop adjacent duplicates.
+        idx = np.searchsorted(a, b)
+        merged = np.insert(a, idx, b)
+        keep = np.empty(len(merged), dtype=bool)
+        keep[0] = True
+        np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+        return AddressSet._trusted(merged[keep])
+
+    def __and__(self, other: "AddressSet") -> "AddressSet":
+        small, big = (
+            (self, other) if len(self) <= len(other) else (other, self)
+        )
+        if len(small) == 0:
+            return AddressSet._trusted(_EMPTY)
+        return AddressSet._trusted(
+            small._values[big.membership(small._values)]
+        )
+
+    def __sub__(self, other: "AddressSet") -> "AddressSet":
+        if len(self) == 0 or len(other) == 0:
+            return self
+        return AddressSet._trusted(
+            self._values[~other.membership(self._values)]
+        )
+
+    def __xor__(self, other: "AddressSet") -> "AddressSet":
+        return (self | other) - (self & other)
+
+    def issubset(self, other: "AddressSet") -> bool:
+        if len(self) == 0:
+            return True
+        return bool(other.membership(self._values).all())

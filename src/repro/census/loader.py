@@ -1,0 +1,246 @@
+"""Census dataset presets, generation, and on-disk caching.
+
+``get_dataset(preset)`` is the single entry point the benchmark suite
+uses: the first call generates the synthetic world (see
+:mod:`repro.census.synth`) and caches it as a compressed ``.npz`` under
+``data/``; later calls reload it in a couple of seconds.  Bump
+``LOADER_VERSION`` whenever the generator changes shape — the cache key
+(and the CI cache key) includes it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.census.addrset import AddressSet
+from repro.census.synth import KINDS, PRESETS, generate_world
+from repro.bgp.table import Prefix, RoutingTable
+
+__all__ = [
+    "LOADER_VERSION",
+    "Snapshot",
+    "SnapshotSeries",
+    "Topology",
+    "CensusDataset",
+    "get_dataset",
+]
+
+#: Dataset schema/generator version; part of every cache key.
+LOADER_VERSION = 1
+
+
+class Snapshot:
+    """The responsive population of one protocol in one month."""
+
+    __slots__ = ("addresses", "host_ids", "kinds", "month")
+
+    def __init__(self, addresses, host_ids, kinds, month=0):
+        if not isinstance(addresses, AddressSet):
+            addresses = AddressSet(addresses, assume_sorted_unique=True)
+        self.addresses = addresses
+        self.host_ids = np.asarray(host_ids, dtype=np.int64)
+        self.kinds = np.asarray(kinds, dtype=np.int8)
+        self.month = month
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
+class SnapshotSeries:
+    """The monthly snapshots of one protocol, seed first."""
+
+    def __init__(self, protocol, snapshots):
+        self.protocol = protocol
+        self._snapshots = list(snapshots)
+
+    @property
+    def seed_snapshot(self) -> Snapshot:
+        return self._snapshots[0]
+
+    def __getitem__(self, month) -> Snapshot:
+        return self._snapshots[month]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self):
+        return iter(self._snapshots)
+
+
+class Topology:
+    """The synthetic routing world: table, origin ASes, allocations."""
+
+    def __init__(self, table: RoutingTable, asns, allocated_blocks):
+        self.table = table
+        self.asns = dict(asns)
+        self.allocated_blocks = [tuple(b) for b in allocated_blocks]
+
+    def allocated_address_count(self) -> int:
+        return int(sum(end - start for start, end in self.allocated_blocks))
+
+    def origin_asn(self, prefix: Prefix) -> int:
+        return self.asns[prefix]
+
+    def write_mrt(self, path) -> int:
+        """Dump the table as an MRT TABLE_DUMP_V2 RIB; returns #entries."""
+        from repro.bgp.mrt import write_rib
+
+        entries = (
+            (p, self.asns.get(p, 64512)) for p in self.table.prefixes
+        )
+        return write_rib(path, entries)
+
+
+class CensusDataset:
+    """A full benchmark dataset: topology + per-protocol snapshot series."""
+
+    def __init__(self, preset, seed, topology, series):
+        self.preset = preset
+        self.seed = seed
+        self.topology = topology
+        self._series = dict(series)
+        self.protocols = sorted(self._series)
+        self.kind_names = list(KINDS)
+
+    def series_for(self, protocol: str) -> SnapshotSeries:
+        return self._series[protocol]
+
+    @property
+    def months(self) -> int:
+        return len(next(iter(self._series.values())))
+
+    # -- generation ----------------------------------------------------
+
+    @classmethod
+    def generate(cls, preset: str = "small", seed: int = 0) -> "CensusDataset":
+        """Generate a dataset from scratch (no cache involvement)."""
+        spec, table, asns, blocks, census = generate_world(preset, seed)
+        series = {
+            protocol: SnapshotSeries(
+                protocol,
+                [
+                    Snapshot(addr, hid, kind, month=m)
+                    for m, (addr, hid, kind) in enumerate(months)
+                ],
+            )
+            for protocol, months in census.items()
+        }
+        return cls(preset, seed, Topology(table, asns, blocks), series)
+
+    # -- serialization -------------------------------------------------
+
+    def save(self, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        table = self.topology.table
+        prefixes = table.prefixes
+        index = {p: i for i, p in enumerate(prefixes)}
+        parents = np.full(len(prefixes), -1, dtype=np.int64)
+        for parent in prefixes:
+            for child in table.children_of(parent):
+                parents[index[child]] = index[parent]
+        arrays = {
+            "pfx_network": np.fromiter(
+                (p.network for p in prefixes), np.int64, len(prefixes)
+            ),
+            "pfx_length": np.fromiter(
+                (p.length for p in prefixes), np.int64, len(prefixes)
+            ),
+            "pfx_parent": parents,
+            "pfx_asn": np.fromiter(
+                (self.topology.asns[p] for p in prefixes),
+                np.int64,
+                len(prefixes),
+            ),
+            "blocks": np.asarray(
+                self.topology.allocated_blocks, dtype=np.int64
+            ),
+        }
+        for protocol, series in self._series.items():
+            for m, snap in enumerate(series):
+                arrays[f"addr_{protocol}_{m}"] = snap.addresses.values
+                arrays[f"hid_{protocol}_{m}"] = snap.host_ids
+                arrays[f"kind_{protocol}_{m}"] = snap.kinds
+        meta = {
+            "version": LOADER_VERSION,
+            "preset": self.preset,
+            "seed": self.seed,
+            "protocols": self.protocols,
+            "months": self.months,
+        }
+        tmp = path.with_suffix(".tmp.npz")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, meta=json.dumps(meta), **arrays)
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path) -> "CensusDataset":
+        with np.load(path) as data:
+            meta = json.loads(str(data["meta"]))
+            if meta["version"] != LOADER_VERSION:
+                raise ValueError("dataset cache version mismatch")
+            networks = data["pfx_network"]
+            lengths = data["pfx_length"]
+            parents = data["pfx_parent"]
+            asn_arr = data["pfx_asn"]
+            prefixes = [
+                Prefix(int(n), int(l))
+                for n, l in zip(networks.tolist(), lengths.tolist())
+            ]
+            children = {}
+            l_prefixes = []
+            for i, parent_idx in enumerate(parents.tolist()):
+                if parent_idx < 0:
+                    l_prefixes.append(prefixes[i])
+                else:
+                    children.setdefault(prefixes[parent_idx], []).append(
+                        prefixes[i]
+                    )
+            table = RoutingTable(l_prefixes, children)
+            asns = {
+                p: int(a) for p, a in zip(prefixes, asn_arr.tolist())
+            }
+            blocks = [tuple(b) for b in data["blocks"].tolist()]
+            series = {}
+            for protocol in meta["protocols"]:
+                snaps = [
+                    Snapshot(
+                        data[f"addr_{protocol}_{m}"],
+                        data[f"hid_{protocol}_{m}"],
+                        data[f"kind_{protocol}_{m}"],
+                        month=m,
+                    )
+                    for m in range(meta["months"])
+                ]
+                series[protocol] = SnapshotSeries(protocol, snaps)
+        return cls(
+            meta["preset"], meta["seed"], Topology(table, asns, blocks), series
+        )
+
+
+def _cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_DATA_DIR", "data"))
+
+
+def get_dataset(
+    preset: str = "small", seed: int = 0, cache_dir=None
+) -> CensusDataset:
+    """Load a cached dataset, generating and caching it on first use."""
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        )
+    directory = Path(cache_dir) if cache_dir is not None else _cache_dir()
+    path = directory / f"census-{preset}-seed{seed}-v{LOADER_VERSION}.npz"
+    if path.exists():
+        try:
+            return CensusDataset.load(path)
+        except Exception:
+            path.unlink(missing_ok=True)
+    dataset = CensusDataset.generate(preset=preset, seed=seed)
+    dataset.save(path)
+    return dataset

@@ -1,0 +1,371 @@
+"""Synthetic Internet generator: topology, census seeds, monthly churn.
+
+The generator builds a world whose *shape* matches the measurements the
+paper rests on:
+
+- a routing table of disjoint top-level announcements carved out of a
+  few allocated /8 blocks (so announced < allocated < the full /0),
+  with a deaggregated more-specific layer beneath;
+- per-protocol responsive populations concentrated in a small set of
+  *dense cores* — few, small, very dense prefixes holding most hosts —
+  over a heavy-tailed sparse background (the concentration that makes
+  phi-threshold selection pay off);
+- monthly churn dominated by *within-prefix renumbering* (hosts move to
+  a fresh address in the same routed prefix), with smaller death, move
+  and birth flows.  Renumbering kills hitlists but not prefix scans —
+  the paper's central stability argument.  CWMP (home routers on
+  dynamic addresses) renumbers at more than twice the server-protocol
+  rate, which is what collapses its hitlist hitrate in Figure 5.
+
+Everything is vectorized per snapshot: host placement is one
+multinomial + one uniform draw, a monthly transition is a handful of
+masked array operations.  Python-level loops only ever iterate over
+*prefixes* (topology carving), never over addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bgp.table import Prefix, RoutingTable
+
+__all__ = [
+    "PROTOCOLS",
+    "KINDS",
+    "ChurnRates",
+    "PresetSpec",
+    "PRESETS",
+    "generate_world",
+]
+
+PROTOCOLS = ("cwmp", "ftp", "http", "https")
+
+#: Host kinds, used by the found-vs-missed analysis (§5).
+KINDS = ("server", "broadband", "business", "embedded")
+
+_KIND_PROBS_DENSE = np.array([0.55, 0.15, 0.20, 0.10])
+_KIND_PROBS_SPARSE = np.array([0.12, 0.48, 0.18, 0.22])
+
+#: First octets of the allocated /8 blocks (stays clear of all
+#: special-use space, so the default blocklist never intersects it).
+_SAFE_SLASH8 = tuple(range(1, 10)) + tuple(range(11, 100))
+
+
+@dataclass(frozen=True)
+class ChurnRates:
+    """Monthly per-host transition probabilities."""
+
+    renumber: float  # new address, same routed prefix
+    die: float  # host disappears
+    move: float  # new address in a (usually dense) other prefix
+    birth: float  # new hosts, as a fraction of the current population
+    short_renumber: float = 0.9  # renumbers that stay within their /24
+
+
+#: Per-protocol churn.  Server protocols lose ~20%/month of their
+#: *addresses* (mostly renumbering); CWMP loses ~42%/month.
+CHURN = {
+    "cwmp": ChurnRates(renumber=0.35, die=0.05, move=0.02, birth=0.07),
+    "ftp": ChurnRates(renumber=0.16, die=0.04, move=0.02, birth=0.06),
+    "http": ChurnRates(renumber=0.14, die=0.035, move=0.02, birth=0.055),
+    "https": ChurnRates(renumber=0.13, die=0.03, move=0.02, birth=0.05),
+}
+
+#: Relative population size per protocol (times ``PresetSpec.hosts``).
+_POPULATION_SCALE = {"cwmp": 1.1, "ftp": 0.8, "http": 1.2, "https": 1.0}
+
+
+@dataclass(frozen=True)
+class PresetSpec:
+    """Scale parameters for one dataset preset."""
+
+    name: str
+    n_blocks: int  # allocated /8 blocks
+    hosts: int  # seed hosts per protocol (times population scale)
+    months: int = 7
+    announce_gap: float = 0.3  # unannounced fraction of allocated space
+    length_choices: tuple = (13, 14, 15, 16, 17, 18, 19, 20)
+    length_weights: tuple = (0.04, 0.08, 0.14, 0.20, 0.22, 0.16, 0.10, 0.06)
+    dense_frac: float = 0.12  # fraction of prefixes forming the dense core
+    dense_min_length: int = 17  # dense cores are small prefixes
+    dense_boost: float = 150.0  # density weight multiplier for cores
+    sparse_sigma: float = 1.8  # lognormal sigma of the background
+    dense_sigma: float = 0.7
+    protocol_sigma: float = 0.35  # per-protocol weight perturbation
+    deagg_frac: float = 0.45  # l-prefixes with a more-specific layer
+    nest_frac: float = 0.15  # children deaggregated a second level
+    explore_frac: float = 0.01  # births/moves landing uniformly at random
+
+
+PRESETS = {
+    "tiny": PresetSpec(name="tiny", n_blocks=2, hosts=4000),
+    "small": PresetSpec(name="small", n_blocks=8, hosts=60000),
+    "medium": PresetSpec(name="medium", n_blocks=32, hosts=1_000_000),
+}
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+
+
+def _carve_block(rng, block_start, block_end, spec):
+    """Carve disjoint l-prefixes into one allocated block, leaving holes."""
+    lengths = np.asarray(spec.length_choices)
+    weights = np.asarray(spec.length_weights, dtype=float)
+    weights = weights / weights.sum()
+    prefixes = []
+    cursor = block_start
+    while cursor < block_end:
+        length = int(rng.choice(lengths, p=weights))
+        size = 1 << (32 - length)
+        aligned = -(-cursor // size) * size  # align up
+        if aligned + size > block_end:
+            # Finish the block with the smallest configured prefix size.
+            length = int(lengths[-1])
+            size = 1 << (32 - length)
+            aligned = -(-cursor // size) * size
+            if aligned + size > block_end:
+                break
+        if rng.random() >= spec.announce_gap:
+            prefixes.append(Prefix(int(aligned), length))
+        cursor = aligned + size
+    return prefixes
+
+
+def _deaggregate(rng, parent, max_extra=4):
+    """Announce a handful of disjoint more-specifics beneath ``parent``."""
+    children = []
+    cursor = parent.start
+    while cursor < parent.end and len(children) < max_extra:
+        delta = int(rng.integers(1, 4))
+        length = min(parent.length + delta, 24)
+        if length <= parent.length:
+            break
+        size = 1 << (32 - length)
+        aligned = -(-cursor // size) * size
+        if aligned + size > parent.end:
+            break
+        if rng.random() < 0.5:
+            children.append(Prefix(int(aligned), length))
+        cursor = aligned + size
+    return children
+
+
+def generate_topology(rng, spec):
+    """Build the synthetic routing table and its origin-AS map."""
+    octets = rng.choice(
+        np.asarray(_SAFE_SLASH8), size=spec.n_blocks, replace=False
+    )
+    blocks = [(int(o) << 24, (int(o) + 1) << 24) for o in sorted(octets)]
+    l_prefixes = []
+    for start, end in blocks:
+        l_prefixes.extend(_carve_block(rng, start, end, spec))
+
+    children = {}
+    asns = {}
+    next_asn = 64512
+    for parent in l_prefixes:
+        asns[parent] = next_asn
+        next_asn += 1
+        if parent.length >= 22 or rng.random() >= spec.deagg_frac:
+            continue
+        kids = _deaggregate(rng, parent)
+        if not kids:
+            continue
+        children[parent] = kids
+        for kid in kids:
+            # Deaggregation is often by a customer AS of the aggregate.
+            asns[kid] = asns[parent] if rng.random() < 0.7 else next_asn
+            next_asn += 1
+            if kid.length <= 22 and rng.random() < spec.nest_frac:
+                grandkids = _deaggregate(rng, kid, max_extra=2)
+                if grandkids:
+                    children[kid] = grandkids
+                    for g in grandkids:
+                        asns[g] = asns[kid]
+    table = RoutingTable(l_prefixes, children)
+    return table, asns, blocks
+
+
+# ---------------------------------------------------------------------------
+# Census populations
+# ---------------------------------------------------------------------------
+
+
+class _World:
+    """Per-protocol placement context: prefix intervals and densities."""
+
+    def __init__(self, partition, weights, is_dense, spec, rng):
+        self.partition = partition
+        self.starts = partition.starts
+        self.sizes = partition.sizes
+        self.is_dense = is_dense
+        self.spec = spec
+        probs = weights / weights.sum()
+        self.probs = probs
+        self.rng = rng
+
+    def choose_prefixes(self, n: int) -> np.ndarray:
+        """Destination prefixes for births/moves: density-proportional
+        with a small uniform exploration flow (the only mechanism that
+        ever occupies a previously-empty prefix)."""
+        rng = self.rng
+        out = rng.choice(len(self.probs), size=n, p=self.probs)
+        uniform = rng.random(n) < self.spec.explore_frac
+        k = int(uniform.sum())
+        if k:
+            out[uniform] = rng.integers(0, len(self.probs), k)
+        return out.astype(np.int64)
+
+    def uniform_addresses(self, prefix_idx: np.ndarray) -> np.ndarray:
+        """One uniform address inside each given prefix."""
+        rng = self.rng
+        offsets = (
+            rng.random(len(prefix_idx)) * self.sizes[prefix_idx]
+        ).astype(np.int64)
+        return self.starts[prefix_idx] + offsets
+
+    def draw_kinds(self, prefix_idx: np.ndarray) -> np.ndarray:
+        """Host kinds, skewed by whether the prefix is a dense core."""
+        rng = self.rng
+        out = np.empty(len(prefix_idx), dtype=np.int8)
+        dense = self.is_dense[prefix_idx]
+        for mask, probs in (
+            (dense, _KIND_PROBS_DENSE),
+            (~dense, _KIND_PROBS_SPARSE),
+        ):
+            k = int(mask.sum())
+            if k:
+                out[mask] = rng.choice(
+                    len(KINDS), size=k, p=probs
+                ).astype(np.int8)
+        return out
+
+
+def _base_weights(rng, partition, spec):
+    """Heavy-tailed per-prefix density weights with a dense core."""
+    n = len(partition)
+    weights = rng.lognormal(0.0, spec.sparse_sigma, n)
+    lengths = partition.lengths
+    candidates = np.flatnonzero(lengths >= spec.dense_min_length)
+    k = max(1, int(spec.dense_frac * n))
+    dense_idx = rng.choice(
+        candidates, size=min(k, len(candidates)), replace=False
+    )
+    weights[dense_idx] = (
+        rng.lognormal(0.0, spec.dense_sigma, len(dense_idx))
+        * spec.dense_boost
+    )
+    is_dense = np.zeros(n, dtype=bool)
+    is_dense[dense_idx] = True
+    return weights, is_dense
+
+
+def _dedupe_sorted(addr, hid, kind):
+    """Sort by address and drop duplicate addresses (first owner wins)."""
+    uniq, first = np.unique(addr, return_index=True)
+    return uniq, hid[first], kind[first]
+
+
+def _seed_snapshot(world, n_hosts):
+    rng = world.rng
+    counts = rng.multinomial(n_hosts, world.probs)
+    prefix_idx = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    addr = world.uniform_addresses(prefix_idx)
+    hid = np.arange(len(addr), dtype=np.int64)
+    kind = world.draw_kinds(prefix_idx)
+    return _dedupe_sorted(addr, hid, kind), len(addr)
+
+
+def _evolve(world, rates, addr, hid, kind, next_hid):
+    """One monthly transition, fully vectorized."""
+    rng = world.rng
+    n = len(addr)
+    u = rng.random(n)
+    renumber = u < rates.renumber
+    die = (u >= rates.renumber) & (u < rates.renumber + rates.die)
+    move = (~renumber) & (~die) & (
+        u < rates.renumber + rates.die + rates.move
+    )
+
+    new_addr = addr.copy()
+
+    # Renumbering: a fresh address in the same /24 (short) or anywhere
+    # in the same routed prefix (long).  Prefix scans survive both.
+    ridx = np.flatnonzero(renumber)
+    short = rng.random(len(ridx)) < rates.short_renumber
+    sidx, lidx = ridx[short], ridx[~short]
+    new_addr[sidx] = (addr[sidx] & ~np.int64(0xFF)) | rng.integers(
+        0, 256, len(sidx)
+    )
+    if len(lidx):
+        owner = world.partition.index_of(addr[lidx])
+        new_addr[lidx] = world.uniform_addresses(owner)
+
+    # Moves: the host reappears in another (usually dense) prefix.
+    midx = np.flatnonzero(move)
+    if len(midx):
+        dest = world.choose_prefixes(len(midx))
+        new_addr[midx] = world.uniform_addresses(dest)
+
+    keep = ~die
+    new_addr, new_hid, new_kind = new_addr[keep], hid[keep], kind[keep]
+
+    # Births: new hosts, mostly inside the existing dense structure.
+    n_births = int(round(rates.birth * n))
+    if n_births:
+        dest = world.choose_prefixes(n_births)
+        birth_addr = world.uniform_addresses(dest)
+        birth_hid = np.arange(next_hid, next_hid + n_births, dtype=np.int64)
+        birth_kind = world.draw_kinds(dest)
+        next_hid += n_births
+        new_addr = np.concatenate([new_addr, birth_addr])
+        new_hid = np.concatenate([new_hid, birth_hid])
+        new_kind = np.concatenate([new_kind, birth_kind])
+
+    return _dedupe_sorted(new_addr, new_hid, new_kind), next_hid
+
+
+def generate_census(rng, spec, table):
+    """Generate the monthly snapshot series for every protocol.
+
+    Returns ``{protocol: [(addresses, host_ids, kinds), ...]}`` with one
+    sorted triple per month.
+    """
+    partition = table.partition("less-specific")
+    base_weights, is_dense = _base_weights(rng, partition, spec)
+    series = {}
+    for protocol in PROTOCOLS:
+        # Protocols share the dense cores but differ in the details.
+        weights = base_weights * rng.lognormal(
+            0.0, spec.protocol_sigma, len(partition)
+        )
+        world = _World(partition, weights, is_dense, spec, rng)
+        n_hosts = int(spec.hosts * _POPULATION_SCALE[protocol])
+        (addr, hid, kind), next_hid = _seed_snapshot(world, n_hosts)
+        months = [(addr, hid, kind)]
+        rates = CHURN[protocol]
+        for _ in range(spec.months - 1):
+            (addr, hid, kind), next_hid = _evolve(
+                world, rates, addr, hid, kind, next_hid
+            )
+            months.append((addr, hid, kind))
+        series[protocol] = months
+    return series
+
+
+def generate_world(preset: str, seed: int = 0):
+    """Generate topology + census for a preset.  Deterministic in seed."""
+    try:
+        spec = PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    rng = np.random.default_rng(seed)
+    table, asns, blocks = generate_topology(rng, spec)
+    census = generate_census(rng, spec, table)
+    return spec, table, asns, blocks, census

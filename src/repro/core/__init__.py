@@ -1,0 +1,1 @@
+"""Core layer: the TASS algorithm, campaign simulation, and refinements."""

@@ -1,0 +1,1 @@
+"""Scan layer: the zmap-class probe-generation and classification substrate."""

@@ -1,0 +1,71 @@
+"""The batched scan engine: probe generation, filtering, classification.
+
+This is the zmap-class simulator core: it drains a target stream in
+fixed-size batches, drops blocklisted probes with one vectorized mask,
+and classifies the remainder against the responsive-address set with a
+single ``searchsorted`` membership pass per batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.census.addrset import AddressSet
+
+__all__ = ["EngineConfig", "ScanResult", "ScanEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine tuning knobs."""
+
+    batch_size: int = 1 << 16
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one scan pass."""
+
+    probes_sent: int = 0
+    responses: int = 0
+    blocked: int = 0
+    batches: int = 0
+    protocol: str | None = None
+
+    @property
+    def hitrate(self) -> float:
+        return self.responses / self.probes_sent if self.probes_sent else 0.0
+
+
+class ScanEngine:
+    """Batched probe engine with blocklist filtering."""
+
+    def __init__(self, config: EngineConfig | None = None, blocklist=None):
+        self.config = config or EngineConfig()
+        self.blocklist = blocklist
+
+    def run(self, targets, responsive, protocol: str | None = None) -> ScanResult:
+        """Scan a target stream against a responsive-address set.
+
+        ``targets`` must provide ``batches(batch_size)`` yielding int64
+        address arrays; ``responsive`` is an :class:`AddressSet` (or a
+        sorted array) defining which probes elicit a response.
+        """
+        if isinstance(responsive, AddressSet):
+            truth = responsive
+        else:
+            truth = AddressSet(responsive)
+        result = ScanResult(protocol=protocol)
+        blocklist = self.blocklist
+        for batch in targets.batches(self.config.batch_size):
+            if blocklist is not None:
+                mask = blocklist.allowed_mask(batch)
+                if not mask.all():
+                    result.blocked += int(batch.size - mask.sum())
+                    batch = batch[mask]
+            result.probes_sent += int(batch.size)
+            result.responses += int(truth.membership(batch).sum())
+            result.batches += 1
+        return result

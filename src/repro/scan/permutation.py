@@ -1,0 +1,149 @@
+"""Cyclic-group probe-order permutations (the zmap technique).
+
+A scan must visit every target address exactly once in an order that
+looks random and needs O(1) state.  Like zmap, we iterate the
+multiplicative group of integers modulo a prime ``p > n``: the sequence
+``start * g^k (mod p)`` for a generator ``g`` visits ``1..p-1`` exactly
+once; values above ``n`` are skipped and the rest are shifted down to
+``0..n-1``.
+
+Batches are produced array-at-a-time: the powers ``g^0..g^{B-1}`` are
+built once by vectorized doubling, and every batch is a single modular
+multiply of that table by the cursor element — no Python-level loop per
+address.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["CyclicPermutation"]
+
+_INT64_SAFE_MOD = 1 << 31  # (p-1)^2 still fits in int64 below this
+
+
+def _is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for n < 3.3e24 (fixed witness set)."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _prime_factors(n: int):
+    factors = set()
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.add(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.add(n)
+    return factors
+
+
+@lru_cache(maxsize=256)
+def _group_params(n: int) -> tuple[int, int]:
+    """Smallest prime p > n and a generator of (Z/pZ)*."""
+    p = n + 1
+    while not _is_prime(p):
+        p += 1
+    if p == 2:
+        return 2, 1
+    order_factors = _prime_factors(p - 1)
+    g = 2
+    while any(pow(g, (p - 1) // q, p) == 1 for q in order_factors):
+        g += 1
+    return p, g
+
+
+def _mulmod(values: np.ndarray, scalar: int, p: int) -> np.ndarray:
+    """``values * scalar % p`` without int64 overflow, vectorized."""
+    if p <= _INT64_SAFE_MOD:
+        return values * scalar % p
+    # Split the scalar into 16-bit halves so partial products stay < 2^49.
+    hi, lo = divmod(scalar % p, 1 << 16)
+    out = (values * hi % p) << 16
+    out += values * lo
+    out %= p
+    return out
+
+
+class CyclicPermutation:
+    """A full-cycle pseudorandom permutation of ``range(n)``.
+
+    ``seed`` selects both the group generator (a random coprime power of
+    the canonical one) and the starting element, so distinct seeds give
+    distinct probe orders over the same cyclic group.
+    """
+
+    def __init__(self, n: int, seed: int = 0):
+        if n < 1:
+            raise ValueError("permutation size must be >= 1")
+        self.n = int(n)
+        self.seed = seed
+        p, g = _group_params(self.n)
+        self.prime = p
+        rng = random.Random(seed)
+        if p == 2:
+            self._gen, self._start = 1, 1
+        else:
+            while True:
+                k = rng.randrange(1, p - 1)
+                if math.gcd(k, p - 1) == 1:
+                    break
+            self._gen = pow(g, k, p)
+            self._start = rng.randrange(1, p)
+
+    def _powers(self, m: int) -> np.ndarray:
+        """``[g^0, g^1, ..., g^{m-1}] mod p`` by vectorized doubling."""
+        p, g = self.prime, self._gen
+        table = np.ones(1, dtype=np.int64)
+        while len(table) < m:
+            scalar = int(table[-1]) * g % p
+            table = np.concatenate([table, _mulmod(table, scalar, p)])
+        return table[:m]
+
+    def batches(self, batch_size: int = 1 << 16):
+        """Yield int64 arrays jointly covering 0..n-1 exactly once."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        p, n = self.prime, self.n
+        total = p - 1  # group elements to walk
+        powers = self._powers(min(batch_size, total))
+        step = pow(self._gen, len(powers), p)
+        cursor = self._start
+        walked = 0
+        while walked < total:
+            m = min(len(powers), total - walked)
+            values = _mulmod(powers[:m], cursor, p)
+            cursor = cursor * step % p
+            walked += m
+            values = values[values <= n]
+            if values.size:
+                yield values - 1
+
+    def __iter__(self):
+        for batch in self.batches():
+            yield from batch.tolist()

@@ -1,0 +1,57 @@
+"""Probe target streams: prefix lists expanded into permuted batches."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scan.permutation import CyclicPermutation
+
+__all__ = ["PrefixTargets", "RangeTargets"]
+
+_SEED_MIX = 0x9E3779B9  # golden-ratio stride decorrelates per-prefix seeds
+
+
+class PrefixTargets:
+    """Expand a list of prefixes into per-prefix permuted probe batches.
+
+    Each prefix is walked by its own :class:`CyclicPermutation` (group
+    parameters are cached per prefix size), offset to the prefix base.
+    The loop is per *prefix*; every address-level operation is a
+    vectorized batch.
+    """
+
+    def __init__(self, prefixes, seed: int = 0):
+        self._prefixes = list(prefixes)
+        self._seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    @property
+    def prefixes(self):
+        return self._prefixes
+
+    def probe_count(self) -> int:
+        return int(sum(p.size for p in self._prefixes))
+
+    def batches(self, batch_size: int = 1 << 16):
+        for i, prefix in enumerate(self._prefixes):
+            perm = CyclicPermutation(
+                prefix.size, seed=self._seed + i * _SEED_MIX
+            )
+            base = np.int64(prefix.network)
+            for values in perm.batches(batch_size):
+                yield base + values
+
+
+class RangeTargets:
+    """A single [0, n) range as permuted batches (for micro-benchmarks)."""
+
+    def __init__(self, n: int, seed: int = 0):
+        self._perm = CyclicPermutation(n, seed=seed)
+
+    def probe_count(self) -> int:
+        return self._perm.n
+
+    def batches(self, batch_size: int = 1 << 16):
+        yield from self._perm.batches(batch_size)

@@ -1,0 +1,44 @@
+"""Unit tests for the cyclic-group permutation (no dataset fixture)."""
+
+import numpy as np
+import pytest
+
+from repro.scan.permutation import CyclicPermutation
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 16, 97, 100, 1000, 1 << 12])
+def test_full_cycle_covers_every_element_once(n):
+    perm = CyclicPermutation(n, seed=3)
+    values = np.concatenate(list(perm.batches(64)))
+    assert len(values) == n
+    assert np.array_equal(np.sort(values), np.arange(n))
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64, 1 << 16])
+def test_batch_sizes_do_not_change_coverage(batch_size):
+    perm = CyclicPermutation(500, seed=11)
+    values = np.concatenate(list(perm.batches(batch_size)))
+    assert np.array_equal(np.sort(values), np.arange(500))
+
+
+def test_batches_respect_batch_size():
+    perm = CyclicPermutation(1000, seed=0)
+    assert all(len(b) <= 64 for b in perm.batches(64))
+
+
+def test_seed_changes_order():
+    a = np.concatenate(list(CyclicPermutation(997, seed=1).batches(256)))
+    b = np.concatenate(list(CyclicPermutation(997, seed=2).batches(256)))
+    assert not np.array_equal(a, b)
+    assert np.array_equal(np.sort(a), np.sort(b))
+
+
+def test_deterministic_for_fixed_seed():
+    a = np.concatenate(list(CyclicPermutation(512, seed=9).batches(100)))
+    b = np.concatenate(list(CyclicPermutation(512, seed=9).batches(100)))
+    assert np.array_equal(a, b)
+
+
+def test_order_is_not_sequential():
+    values = np.concatenate(list(CyclicPermutation(4096, seed=5).batches()))
+    assert not np.array_equal(values, np.arange(4096))
