@@ -14,7 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.bgp.table import LESS_SPECIFIC, count_in_intervals
+from repro.bgp.backends import count_with_backend
+from repro.bgp.table import LESS_SPECIFIC
 from repro.core.tass import select_by_density
 
 __all__ = ["AdaptiveComparison", "AdaptiveResult", "run_adaptive", "render_adaptive"]
@@ -54,14 +55,14 @@ def _sample_complement(rng, partition, selected, n):
     return partition.starts[unselected[slot]] + offset, unselected
 
 
-def _selection_stats(partition, selected, values):
+def _selection_stats(partition, selected, values, backend=None):
     starts = partition.starts[selected]
     ends = partition.ends[selected]
-    found = count_in_intervals(starts, ends, values).sum()
+    found = count_with_backend(starts, ends, values, backend).sum()
     return int(found), int((ends - starts).sum())
 
 
-def run_adaptive(dataset) -> AdaptiveResult:
+def run_adaptive(dataset, backend=None) -> AdaptiveResult:
     table = dataset.topology.table
     partition = table.partition(LESS_SPECIFIC)
     announced = partition.address_count()
@@ -70,7 +71,7 @@ def run_adaptive(dataset) -> AdaptiveResult:
         rng = np.random.default_rng(1000 + pi)
         series = dataset.series_for(protocol)
         seed_counts = partition.count_addresses(
-            series.seed_snapshot.addresses.values
+            series.seed_snapshot.addresses.values, backend=backend
         )
         base = select_by_density(partition, seed_counts, PHI)
 
@@ -84,12 +85,14 @@ def run_adaptive(dataset) -> AdaptiveResult:
         absorbed = 0
         for month in range(1, len(series)):
             values = series[month].addresses.values
-            s_found, s_size = _selection_stats(partition, static_sel, values)
+            s_found, s_size = _selection_stats(
+                partition, static_sel, values, backend=backend
+            )
             static_probes += s_size
             static_final = s_found / len(values)
 
             a_found, a_size = _selection_stats(
-                partition, adaptive_sel, values
+                partition, adaptive_sel, values, backend=backend
             )
             explore_n = max(
                 1, int(EXPLORE_FRAC * (announced - a_size))

@@ -47,7 +47,7 @@ class Figure3Result:
         return float((hist * lengths).sum() / hist.sum())
 
 
-def run_figure3(dataset) -> Figure3Result:
+def run_figure3(dataset, backend=None) -> Figure3Result:
     table = dataset.topology.table
     hists = {}
     for view in _VIEWS:
@@ -58,7 +58,7 @@ def run_figure3(dataset) -> Figure3Result:
             rows = np.zeros((len(series), _MAX_LENGTH), dtype=np.int64)
             for month, snapshot in enumerate(series):
                 counts = partition.count_addresses(
-                    snapshot.addresses.values
+                    snapshot.addresses.values, backend=backend
                 )
                 rows[month] = np.bincount(
                     lengths, weights=counts, minlength=_MAX_LENGTH

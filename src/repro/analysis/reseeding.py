@@ -38,8 +38,8 @@ class ReseedingResult:
         return [row for row in self.rows if row.protocol == protocol]
 
 
-def _simulate(table, series, announced, reseed_every) -> ReseedRow:
-    strategy = TassStrategy(table, phi=PHI, view=LESS_SPECIFIC)
+def _simulate(table, series, announced, reseed_every, backend=None) -> ReseedRow:
+    strategy = TassStrategy(table, phi=PHI, view=LESS_SPECIFIC, backend=backend)
     selection = strategy.plan(series.seed_snapshot)
     probes = announced  # the seed month is always a full discovery scan
     rates = [1.0]
@@ -56,7 +56,9 @@ def _simulate(table, series, announced, reseed_every) -> ReseedRow:
         else:
             probes += selection.probe_count()
             values = snapshot.addresses.values
-            rates.append(selection.count_in(values) / len(values))
+            rates.append(
+                selection.count_in(values, backend=backend) / len(values)
+            )
     return ReseedRow(
         protocol=series.protocol,
         reseed_every=reseed_every,
@@ -67,14 +69,16 @@ def _simulate(table, series, announced, reseed_every) -> ReseedRow:
     )
 
 
-def run_reseeding(dataset) -> ReseedingResult:
+def run_reseeding(dataset, backend=None) -> ReseedingResult:
     table = dataset.topology.table
     announced = table.partition(LESS_SPECIFIC).address_count()
     rows = []
     for protocol in dataset.protocols:
         series = dataset.series_for(protocol)
         for interval in INTERVALS:
-            rows.append(_simulate(table, series, announced, interval))
+            rows.append(
+                _simulate(table, series, announced, interval, backend=backend)
+            )
     return ReseedingResult(rows)
 
 

@@ -33,13 +33,15 @@ class Section34Result:
     dense_prefix_frac: float = DENSE_PREFIX_FRAC
 
 
-def run_section34(dataset) -> Section34Result:
+def run_section34(dataset, backend=None) -> Section34Result:
     table = dataset.topology.table
     seed = dataset.series_for(PROTOCOL).seed_snapshot
     spaces = {}
     for view in (LESS_SPECIFIC, MORE_SPECIFIC):
         partition = table.partition(view)
-        counts = partition.count_addresses(seed.addresses.values)
+        counts = partition.count_addresses(
+            seed.addresses.values, backend=backend
+        )
         for phi in (1.0, 0.95):
             spaces[(view, phi)] = select_by_density(
                 partition, counts, phi
@@ -47,7 +49,7 @@ def run_section34(dataset) -> Section34Result:
 
     # Densest ~15% of l-prefixes: their share of hosts and of space.
     partition = table.partition(LESS_SPECIFIC)
-    counts = partition.count_addresses(seed.addresses.values)
+    counts = partition.count_addresses(seed.addresses.values, backend=backend)
     density = counts / partition.sizes
     order = np.argsort(-density, kind="stable")
     top = order[: max(1, int(DENSE_PREFIX_FRAC * len(partition)))]

@@ -1,0 +1,205 @@
+"""Pluggable per-interval counting backends.
+
+Every layer of the pipeline ultimately answers the same question: given
+a sorted, duplicate-free ``int64`` address array and a sorted disjoint
+``[start, end)`` interval set, how many addresses fall in each interval?
+This module makes the answer a *registry* of interchangeable backends
+instead of a hard-wired call:
+
+- ``searchsorted`` — the production two-``searchsorted`` pass
+  (:func:`repro.bgp.table.count_in_intervals`); O((n+m) log) and the
+  default everywhere.
+- ``bitmap``       — a packed NumPy bitmap over the *compacted*
+  interval coordinate space: each covered address maps to one bit, and
+  per-interval occupancy is a popcount over the interval's bit slice.
+  Memory is one bit per covered address, independent of where the
+  intervals sit in the 2^32 space.
+- ``trie``         — the pure-Python binary radix trie
+  (:mod:`repro.core.density`), one longest-prefix-match walk per
+  address.  Orders of magnitude slower; kept as the correctness oracle
+  the differential test suite checks every other backend against.
+
+Selection is by explicit ``backend=`` argument anywhere counting
+happens (``Partition.count_addresses``, ``Selection.count_in``,
+``TassStrategy``, ``simulate_campaign``, the analysis ``run_*``
+functions) or globally via the ``REPRO_COUNT_BACKEND`` environment
+variable.  Registering a new backend is one decorated function::
+
+    from repro.bgp.backends import register_backend
+
+    @register_backend("mybackend")
+    def count(starts, ends, values):
+        ...  # return per-interval int64 counts
+
+All backends assume the :class:`~repro.census.addrset.AddressSet`
+contract: ``values`` sorted and duplicate-free.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.bgp.table import count_in_intervals as _searchsorted_count
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend_name",
+    "count_with_backend",
+]
+
+#: Environment variable that selects the process-wide default backend.
+ENV_VAR = "REPRO_COUNT_BACKEND"
+
+DEFAULT_BACKEND = "searchsorted"
+
+_REGISTRY: dict[str, object] = {}
+
+
+def register_backend(name: str):
+    """Class-of-one decorator: register ``fn(starts, ends, values)``."""
+
+    def decorate(fn):
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """The backend name an explicit/env/default resolution lands on."""
+    return name or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+
+
+def get_backend(name=None):
+    """Resolve a backend by name, env var, or passthrough callable.
+
+    ``None`` falls back to ``$REPRO_COUNT_BACKEND`` and then to the
+    ``searchsorted`` default; a callable is returned unchanged so call
+    sites can take ad-hoc counting functions too.
+    """
+    if callable(name):
+        return name
+    resolved = resolve_backend_name(name)
+    try:
+        return _REGISTRY[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown counting backend {resolved!r}; "
+            f"available: {available_backends()}"
+        ) from None
+
+
+def count_with_backend(starts, ends, values, backend=None) -> np.ndarray:
+    """Per-interval occupancy via the resolved backend."""
+    return get_backend(backend)(starts, ends, values)
+
+
+# ---------------------------------------------------------------------------
+# searchsorted — the production pass
+# ---------------------------------------------------------------------------
+
+register_backend("searchsorted")(_searchsorted_count)
+
+
+# ---------------------------------------------------------------------------
+# bitmap — packed occupancy bits over the compacted covered space
+# ---------------------------------------------------------------------------
+
+#: Per-byte popcount lookup table.
+_POPCOUNT = np.array(
+    [bin(b).count("1") for b in range(256)], dtype=np.int64
+)
+
+
+def _bit_rank(cum_bytes, bitmap, bits):
+    """Set bits in ``[0, bit)`` of the little-endian packed bitmap."""
+    byte = bits >> 3
+    rank = cum_bytes[byte]
+    rem = bits & 7
+    partial = bitmap[np.minimum(byte, len(bitmap) - 1)] & (
+        (1 << rem) - 1
+    ).astype(np.uint8)
+    return rank + _POPCOUNT[partial]
+
+
+@register_backend("bitmap")
+def count_bitmap(starts, ends, values) -> np.ndarray:
+    """Bitmap counting: mark each covered address, popcount per slice.
+
+    Addresses are first mapped into the *compacted* coordinate space of
+    the interval set (interval i occupies bits
+    ``[offset_i, offset_i + size_i)``), so the bitmap costs one bit per
+    covered address no matter how sparse the intervals are in the full
+    2^32 space.  Counting an interval is then a vectorized popcount of
+    its bit slice via a byte-level cumulative sum.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    if len(starts) == 0:
+        return np.zeros(0, dtype=np.int64)
+    sizes = ends - starts
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(sizes)]
+    )
+    total_bits = int(offsets[-1])
+    if total_bits == 0:
+        return np.zeros(len(starts), dtype=np.int64)
+    bitmap = np.zeros((total_bits + 7) >> 3, dtype=np.uint8)
+    if values.size and total_bits:
+        idx = np.searchsorted(starts, values, side="right") - 1
+        safe = idx.clip(0)
+        inside = (idx >= 0) & (values < ends[safe])
+        hit = safe[inside]
+        pos = offsets[hit] + (values[inside] - starts[hit])
+        np.bitwise_or.at(
+            bitmap, pos >> 3, np.uint8(1) << (pos & 7).astype(np.uint8)
+        )
+    # cum_bytes[k] = set bits in bytes [0, k); one extra slot so a bit
+    # offset landing exactly on the bitmap end indexes cleanly.
+    cum_bytes = np.zeros(len(bitmap) + 1, dtype=np.int64)
+    np.cumsum(_POPCOUNT[bitmap], out=cum_bytes[1:])
+    return _bit_rank(cum_bytes, bitmap, offsets[1:]) - _bit_rank(
+        cum_bytes, bitmap, offsets[:-1]
+    )
+
+
+# ---------------------------------------------------------------------------
+# trie — the pure-Python longest-prefix-match oracle
+# ---------------------------------------------------------------------------
+
+
+@register_backend("trie")
+def count_trie(starts, ends, values) -> np.ndarray:
+    """Radix-trie counting over arbitrary ``[start, end)`` intervals.
+
+    Each interval is decomposed into its minimal aligned CIDR cover
+    (:func:`repro.bgp.deaggregate.split_range`), the cover is inserted
+    into a binary trie mapping to the *source interval* index, and
+    every address is longest-prefix-matched one Python iteration at a
+    time — the :mod:`repro.core.density` reference generalised beyond
+    prefix-shaped partitions.
+    """
+    from repro.bgp.deaggregate import split_range
+    from repro.core.density import count_lookups, trie_insert
+
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    root = [None, None, None]
+    for index, (start, end) in enumerate(
+        zip(starts.tolist(), ends.tolist())
+    ):
+        for prefix in split_range(start, end):
+            trie_insert(root, prefix.network, prefix.length, index)
+    return count_lookups(root, values, len(starts))

@@ -119,9 +119,9 @@ class Partition:
     two-``searchsorted`` interval-counting pass.
     """
 
-    __slots__ = ("starts", "ends", "_prefixes", "__dict__")
+    __slots__ = ("starts", "ends", "count_backend", "_prefixes", "__dict__")
 
-    def __init__(self, starts, ends, prefixes=None):
+    def __init__(self, starts, ends, prefixes=None, count_backend=None):
         self.starts = np.asarray(starts, dtype=np.int64)
         self.ends = np.asarray(ends, dtype=np.int64)
         if self.starts.shape != self.ends.shape:
@@ -131,9 +131,12 @@ class Partition:
         ).all():
             raise ValueError("partition intervals must be sorted disjoint")
         self._prefixes = list(prefixes) if prefixes is not None else None
+        #: Default counting backend for this partition (None = resolve
+        #: via ``$REPRO_COUNT_BACKEND`` / the registry default).
+        self.count_backend = count_backend
 
     @classmethod
-    def from_prefixes(cls, prefixes) -> "Partition":
+    def from_prefixes(cls, prefixes, count_backend=None) -> "Partition":
         prefixes = sorted(prefixes, key=lambda p: p.network)
         starts = np.fromiter(
             (p.start for p in prefixes), dtype=np.int64, count=len(prefixes)
@@ -141,7 +144,7 @@ class Partition:
         ends = np.fromiter(
             (p.end for p in prefixes), dtype=np.int64, count=len(prefixes)
         )
-        return cls(starts, ends, prefixes)
+        return cls(starts, ends, prefixes, count_backend=count_backend)
 
     # -- structure -----------------------------------------------------
 
@@ -176,13 +179,19 @@ class Partition:
 
     # -- vectorized hot paths -----------------------------------------
 
-    def count_addresses(self, values: np.ndarray) -> np.ndarray:
+    def count_addresses(self, values: np.ndarray, backend=None) -> np.ndarray:
         """Per-interval occupancy of a **sorted** int64 address array.
 
-        The two-``searchsorted`` interval-counting pass — the vectorized
-        backend the counting ablation benchmarks against the trie.
+        By default this is the two-``searchsorted`` interval-counting
+        pass; ``backend`` (or the partition's ``count_backend``, or
+        ``$REPRO_COUNT_BACKEND``) selects any backend registered in
+        :mod:`repro.bgp.backends` instead.
         """
-        return count_in_intervals(self.starts, self.ends, values)
+        # Imported lazily: backends imports this module at load time.
+        from repro.bgp.backends import count_with_backend
+
+        backend = backend if backend is not None else self.count_backend
+        return count_with_backend(self.starts, self.ends, values, backend)
 
     def index_of(self, values: np.ndarray) -> np.ndarray:
         """Covering-interval index per address (-1 when uncovered)."""
@@ -204,7 +213,7 @@ class RoutingTable:
     more-specific announcements hang beneath them (possibly nested).
     """
 
-    def __init__(self, l_prefixes, children=None):
+    def __init__(self, l_prefixes, children=None, count_backend=None):
         self._l_prefixes = sorted(l_prefixes, key=lambda p: p.network)
         self._children = {
             parent: tuple(sorted(kids, key=lambda p: p.network))
@@ -212,6 +221,9 @@ class RoutingTable:
             if kids
         }
         self._partitions = {}
+        #: Counting backend inherited by every partition derived from
+        #: this table (None = registry default / env var).
+        self.count_backend = count_backend
 
     @property
     def l_prefixes(self):
@@ -242,13 +254,16 @@ class RoutingTable:
         except KeyError:
             pass
         if view == LESS_SPECIFIC:
-            part = Partition.from_prefixes(self._l_prefixes)
+            part = Partition.from_prefixes(
+                self._l_prefixes, count_backend=self.count_backend
+            )
         elif view == MORE_SPECIFIC:
             from repro.bgp.deaggregate import partition_table
 
             forest = {p: self.children_of(p) for p in self.prefixes}
             part = Partition.from_prefixes(
-                partition_table(forest, self._l_prefixes)
+                partition_table(forest, self._l_prefixes),
+                count_backend=self.count_backend,
             )
         else:
             raise ValueError(f"unknown prefix view: {view!r}")

@@ -12,27 +12,37 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["build_trie", "count_with_trie", "lookup"]
+__all__ = [
+    "build_trie",
+    "trie_insert",
+    "count_lookups",
+    "count_with_trie",
+    "lookup",
+]
 
 # Trie nodes are plain 3-slot lists [zero_child, one_child, part_index]
 # — the cheapest mutable structure CPython offers for this.
 _ZERO, _ONE, _INDEX = 0, 1, 2
 
 
+def trie_insert(root, network: int, length: int, index: int) -> None:
+    """Insert one prefix, mapping its subtree to ``index``."""
+    node = root
+    for bit in range(31, 31 - length, -1):
+        side = (network >> bit) & 1
+        child = node[side]
+        if child is None:
+            child = [None, None, None]
+            node[side] = child
+        node = child
+    node[_INDEX] = index
+
+
 def build_trie(partition):
     """Build a binary radix trie mapping addresses to partition indices."""
     root = [None, None, None]
     for index, prefix in enumerate(partition.prefixes):
-        node = root
-        network, length = prefix.network, prefix.length
-        for bit in range(31, 31 - length, -1):
-            side = (network >> bit) & 1
-            child = node[side]
-            if child is None:
-                child = [None, None, None]
-                node[side] = child
-            node = child
-        node[_INDEX] = index
+        trie_insert(root, prefix.network, prefix.length, index)
     return root
 
 
@@ -51,6 +61,16 @@ def lookup(root, address: int):
     return best
 
 
+def count_lookups(root, values, size: int) -> np.ndarray:
+    """LPM every address through the trie; per-index occupancy counts."""
+    counts = np.zeros(size, dtype=np.int64)
+    for address in map(int, np.asarray(values)):
+        index = lookup(root, address)
+        if index is not None:
+            counts[index] += 1
+    return counts
+
+
 def count_with_trie(addresses, partition) -> np.ndarray:
     """Per-prefix occupancy via per-address trie walks (slow reference).
 
@@ -59,10 +79,4 @@ def count_with_trie(addresses, partition) -> np.ndarray:
     cost model of a naive scanner implementation.
     """
     values = getattr(addresses, "values", addresses)
-    root = build_trie(partition)
-    counts = np.zeros(len(partition), dtype=np.int64)
-    for address in map(int, np.asarray(values)):
-        index = lookup(root, address)
-        if index is not None:
-            counts[index] += 1
-    return counts
+    return count_lookups(build_trie(partition), values, len(partition))

@@ -16,7 +16,6 @@ from repro.bgp.table import (
     LESS_SPECIFIC,
     Partition,
     RoutingTable,
-    count_in_intervals,
     interval_membership,
 )
 
@@ -73,9 +72,20 @@ class Selection:
         """Fraction of responsive addresses covered at selection time."""
         return self.covered_hosts / self.total_hosts if self.total_hosts else 0.0
 
-    def count_in(self, values: np.ndarray) -> int:
-        """How many of a sorted address array fall inside the selection."""
-        return int(count_in_intervals(self.starts, self.ends, values).sum())
+    def count_in(self, values: np.ndarray, backend=None) -> int:
+        """How many of a sorted address array fall inside the selection.
+
+        ``backend`` (or the partition's ``count_backend``, or
+        ``$REPRO_COUNT_BACKEND``) selects a registered counting
+        backend; the default is the two-``searchsorted`` pass.
+        """
+        from repro.bgp.backends import count_with_backend
+
+        if backend is None:
+            backend = getattr(self.partition, "count_backend", None)
+        return int(
+            count_with_backend(self.starts, self.ends, values, backend).sum()
+        )
 
     def membership(self, values: np.ndarray) -> np.ndarray:
         """Boolean mask over ``values``: inside the selection or not."""
@@ -106,7 +116,13 @@ def select_by_density(
 class TassStrategy:
     """The paper's selection strategy bound to one partition and phi."""
 
-    def __init__(self, table, phi: float = 1.0, view: str = LESS_SPECIFIC):
+    def __init__(
+        self,
+        table,
+        phi: float = 1.0,
+        view: str = LESS_SPECIFIC,
+        backend=None,
+    ):
         if isinstance(table, RoutingTable):
             self.partition = table.partition(view)
         elif isinstance(table, Partition):
@@ -118,13 +134,15 @@ class TassStrategy:
             )
         self.phi = float(phi)
         self.view = view
+        #: Counting backend for planning (None = partition default).
+        self.backend = backend
         self.last_selection: Selection | None = None
 
     def plan(self, snapshot) -> Selection:
         """Derive the probe plan from a seed snapshot (TASS steps 2-4)."""
         addresses = getattr(snapshot, "addresses", snapshot)
         values = getattr(addresses, "values", addresses)
-        counts = self.partition.count_addresses(values)
+        counts = self.partition.count_addresses(values, backend=self.backend)
         selection = select_by_density(self.partition, counts, self.phi)
         self.last_selection = selection
         return selection

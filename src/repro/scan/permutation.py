@@ -21,7 +21,7 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["CyclicPermutation"]
+__all__ = ["CyclicPermutation", "PermutationShard"]
 
 _INT64_SAFE_MOD = 1 << 31  # (p-1)^2 still fits in int64 below this
 
@@ -116,6 +116,44 @@ class CyclicPermutation:
             self._gen = pow(g, k, p)
             self._start = rng.randrange(1, p)
 
+    def batches(self, batch_size: int = 1 << 16):
+        """Yield int64 arrays jointly covering 0..n-1 exactly once."""
+        return self.shard(0, 1).batches(batch_size)
+
+    def shard(self, index: int, count: int) -> "PermutationShard":
+        """The ``index``-th of ``count`` interleaved sub-walks.
+
+        Shard ``i`` visits the sequence elements at positions
+        ``i, i+count, i+2*count, ...`` of the full cycle — the zmap
+        sharding construction: every shard is itself a geometric walk
+        (generator ``g^count``, start ``start * g^i``) and needs no
+        state beyond its own cursor, and the ``count`` shards jointly
+        cover ``0..n-1`` exactly once.
+        """
+        return PermutationShard(self, index, count)
+
+    def __iter__(self):
+        for batch in self.batches():
+            yield from batch.tolist()
+
+
+class PermutationShard:
+    """One strided sub-walk of a :class:`CyclicPermutation` full cycle."""
+
+    __slots__ = ("n", "prime", "index", "count", "_gen", "_start", "_total")
+
+    def __init__(self, permutation: CyclicPermutation, index: int, count: int):
+        if count < 1 or not 0 <= index < count:
+            raise ValueError("need 0 <= index < count")
+        self.n = permutation.n
+        self.prime = p = permutation.prime
+        self.index = index
+        self.count = count
+        self._gen = pow(permutation._gen, count, p)
+        self._start = permutation._start * pow(permutation._gen, index, p) % p
+        # Group positions j in [0, p-1) with j == index (mod count).
+        self._total = max(0, -(-(p - 1 - index) // count))
+
     def _powers(self, m: int) -> np.ndarray:
         """``[g^0, g^1, ..., g^{m-1}] mod p`` by vectorized doubling."""
         p, g = self.prime, self._gen
@@ -126,11 +164,11 @@ class CyclicPermutation:
         return table[:m]
 
     def batches(self, batch_size: int = 1 << 16):
-        """Yield int64 arrays jointly covering 0..n-1 exactly once."""
+        """Yield int64 arrays covering this shard's slice of 0..n-1."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         p, n = self.prime, self.n
-        total = p - 1  # group elements to walk
+        total = self._total  # group elements to walk
         powers = self._powers(min(batch_size, total))
         step = pow(self._gen, len(powers), p)
         cursor = self._start
@@ -143,7 +181,3 @@ class CyclicPermutation:
             values = values[values <= n]
             if values.size:
                 yield values - 1
-
-    def __iter__(self):
-        for batch in self.batches():
-            yield from batch.tolist()

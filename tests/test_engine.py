@@ -1,0 +1,93 @@
+"""ScanEngine batching and blocklist edge cases (no dataset fixture)."""
+
+import numpy as np
+import pytest
+
+from repro.census.addrset import AddressSet
+from repro.scan.blocklist import Blocklist
+from repro.scan.engine import EngineConfig, ScanEngine, ScanResult
+from repro.scan.targets import PrefixTargets, RangeTargets
+from repro.bgp.table import Prefix
+
+
+class _ListTargets:
+    """Fixed batches, for driving the engine with exact boundaries."""
+
+    def __init__(self, arrays):
+        self._arrays = [np.asarray(a, dtype=np.int64) for a in arrays]
+
+    def batches(self, batch_size):
+        for array in self._arrays:
+            for lo in range(0, len(array), batch_size):
+                yield array[lo : lo + batch_size]
+
+
+def test_empty_target_stream():
+    result = ScanEngine().run(_ListTargets([]), AddressSet([1, 2, 3]))
+    assert result == ScanResult(0, 0, 0, 0, None)
+    assert result.hitrate == 0.0
+
+
+def test_empty_responsive_set():
+    result = ScanEngine().run(
+        _ListTargets([np.arange(100)]), AddressSet()
+    )
+    assert result.probes_sent == 100
+    assert result.responses == 0
+    assert result.hitrate == 0.0
+
+
+@pytest.mark.parametrize("n", [1, 63, 64, 65, 128])
+def test_batch_boundary_sizes(n):
+    """Streams at, below, and above the batch size count identically."""
+    engine = ScanEngine(EngineConfig(batch_size=64))
+    result = engine.run(RangeTargets(n, seed=5), AddressSet(np.arange(0, n, 2)))
+    assert result.probes_sent == n
+    assert result.responses == len(range(0, n, 2))
+    assert result.batches >= -(-n // 64)
+
+
+def test_blocklist_drops_and_accounts():
+    blocklist = Blocklist([10], [20])
+    engine = ScanEngine(EngineConfig(batch_size=8), blocklist)
+    result = engine.run(
+        _ListTargets([np.arange(30)]), AddressSet(np.arange(30))
+    )
+    assert result.blocked == 10
+    assert result.probes_sent == 20
+    assert result.responses == 20
+
+
+def test_fully_blocked_batch():
+    blocklist = Blocklist([0], [100])
+    engine = ScanEngine(EngineConfig(batch_size=16), blocklist)
+    result = engine.run(
+        _ListTargets([np.arange(32)]), AddressSet(np.arange(32))
+    )
+    assert result.probes_sent == 0
+    assert result.responses == 0
+    assert result.blocked == 32
+    assert result.batches == 2
+    assert result.hitrate == 0.0
+
+
+def test_prefix_targets_visit_prefix_space_exactly_once():
+    prefixes = [
+        Prefix.from_cidr("10.0.0.0/26"),
+        Prefix.from_cidr("10.0.1.0/28"),
+    ]
+    targets = PrefixTargets(prefixes, seed=2)
+    assert targets.probe_count() == 64 + 16
+    values = np.sort(np.concatenate(list(targets.batches(16))))
+    expected = np.concatenate(
+        [np.arange(p.start, p.end) for p in prefixes]
+    )
+    assert np.array_equal(values, expected)
+
+
+def test_engine_accepts_raw_arrays_as_responsive():
+    result = ScanEngine().run(
+        _ListTargets([np.arange(10)]), np.array([3, 1, 7])
+    )
+    assert result.responses == 3
+    assert result.hitrate == pytest.approx(0.3)

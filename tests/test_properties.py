@@ -1,0 +1,102 @@
+"""Hypothesis property tests: AddressSet algebra and permutation shards.
+
+The AddressSet properties check every set operation against the
+built-in ``set`` oracle on random address arrays; the permutation
+properties check full-cycle bijectivity and the shard disjoint-union
+invariant over random cyclic-group parameters.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.census.addrset import AddressSet
+from repro.scan.permutation import CyclicPermutation
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=(1 << 32) - 1), max_size=200
+)
+
+
+def _pyset(address_set: AddressSet) -> set:
+    return set(address_set.values.tolist())
+
+
+@given(addresses, addresses)
+def test_addrset_algebra_matches_set_oracle(a, b):
+    sa, sb = AddressSet(a), AddressSet(b)
+    oa, ob = set(a), set(b)
+    assert _pyset(sa) == oa
+    assert _pyset(sa | sb) == oa | ob
+    assert _pyset(sa & sb) == oa & ob
+    assert _pyset(sa - sb) == oa - ob
+    assert _pyset(sa ^ sb) == oa ^ ob
+    assert sa.intersection_count(sb) == len(oa & ob)
+    assert sa.issubset(sb) == oa.issubset(ob)
+    assert (sa | sb) == (sb | sa)
+
+
+@given(addresses, addresses)
+def test_addrset_membership_matches_oracle(a, b):
+    sa = AddressSet(a)
+    oa = set(a)
+    probes = np.asarray(b, dtype=np.int64)
+    mask = sa.membership(probes)
+    assert mask.tolist() == [v in oa for v in b]
+    for v in b[:10]:
+        assert (v in sa) == (v in oa)
+
+
+@given(addresses)
+def test_addrset_values_sorted_unique(a):
+    sa = AddressSet(a)
+    values = sa.values
+    assert np.array_equal(values, np.unique(np.asarray(a, dtype=np.int64)))
+
+
+@given(
+    st.integers(min_value=1, max_value=5000),
+    st.integers(min_value=0, max_value=1 << 30),
+    st.integers(min_value=1, max_value=512),
+)
+@settings(max_examples=50, deadline=None)
+def test_permutation_is_bijective(n, seed, batch_size):
+    perm = CyclicPermutation(n, seed=seed)
+    values = np.concatenate(list(perm.batches(batch_size)))
+    assert np.array_equal(np.sort(values), np.arange(n))
+
+
+@given(
+    st.integers(min_value=1, max_value=3000),
+    st.integers(min_value=0, max_value=1 << 30),
+    st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=50, deadline=None)
+def test_shards_are_a_disjoint_cover(n, seed, shards):
+    perm = CyclicPermutation(n, seed=seed)
+    pieces = []
+    for i in range(shards):
+        batches = list(perm.shard(i, shards).batches(97))
+        if batches:
+            pieces.append(np.concatenate(batches))
+    union = np.concatenate(pieces)
+    # Jointly a bijection onto range(n): disjointness and coverage both.
+    assert np.array_equal(np.sort(union), np.arange(n))
+
+
+@given(
+    st.integers(min_value=2, max_value=3000),
+    st.integers(min_value=0, max_value=1 << 30),
+    st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_shards_preserve_full_walk_order(n, seed, shards):
+    perm = CyclicPermutation(n, seed=seed)
+    full = np.concatenate(list(perm.batches(64)))
+    position = {int(v): i for i, v in enumerate(full)}
+    for i in range(shards):
+        batches = list(perm.shard(i, shards).batches(64))
+        if not batches:
+            continue
+        walk = [position[int(v)] for v in np.concatenate(batches)]
+        assert walk == sorted(walk)

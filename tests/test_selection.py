@@ -1,0 +1,92 @@
+"""phi-threshold selection edge cases (no dataset fixture)."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.table import Partition, Prefix
+from repro.core.tass import Selection, TassStrategy, select_by_density
+
+
+def _partition():
+    return Partition.from_prefixes(
+        [
+            Prefix.from_cidr("10.0.0.0/24"),
+            Prefix.from_cidr("10.1.0.0/24"),
+            Prefix.from_cidr("10.2.0.0/16"),
+        ]
+    )
+
+
+def test_phi_zero_and_out_of_range_rejected():
+    partition = _partition()
+    counts = np.array([5, 5, 5])
+    for phi in (0.0, -0.1, 1.0001):
+        with pytest.raises(ValueError, match="phi"):
+            select_by_density(partition, counts, phi)
+
+
+def test_phi_one_covers_every_occupied_prefix():
+    partition = _partition()
+    counts = np.array([5, 0, 3])
+    selection = select_by_density(partition, counts, 1.0)
+    assert selection.host_coverage == 1.0
+    assert len(selection) == 2  # empty prefixes never selected
+    assert selection.covered_hosts == 8
+    assert selection.total_hosts == 8
+
+
+def test_tiny_phi_selects_single_densest_prefix():
+    partition = _partition()
+    counts = np.array([50, 10, 200])  # densities: 0.195, 0.039, 0.003
+    selection = select_by_density(partition, counts, 1e-9)
+    assert len(selection) == 1
+    assert selection.indices.tolist() == [0]
+
+
+def test_density_ties_resolve_stably():
+    # Equal densities: stable argsort keeps partition order.
+    partition = _partition()
+    counts = np.array([10, 10, 2560])  # /24s tie; /16 same density too
+    a = select_by_density(partition, counts, 0.003)
+    b = select_by_density(partition, counts, 0.003)
+    assert a.indices.tolist() == b.indices.tolist()
+    assert a.indices.tolist() == [0]  # first of the tied prefixes wins
+
+
+def test_zero_total_hosts_yields_empty_selection():
+    partition = _partition()
+    selection = select_by_density(partition, np.zeros(3, np.int64), 0.5)
+    assert len(selection) == 0
+    assert selection.host_coverage == 0.0
+    assert selection.space_coverage == 0.0
+    assert selection.probe_count() == 0
+    assert selection.count_in(np.array([1, 2, 3])) == 0
+
+
+def test_selection_accessors():
+    partition = _partition()
+    counts = np.array([10, 0, 20])
+    selection = select_by_density(partition, counts, 1.0)
+    assert isinstance(selection, Selection)
+    assert selection.selected_address_count() == 256 + (1 << 16)
+    assert [str(p) for p in selection.prefixes] == [
+        "10.0.0.0/24",
+        "10.2.0.0/16",
+    ]
+    inside = np.array([partition.starts[0] + 1, partition.starts[2] + 5])
+    assert selection.membership(inside).all()
+    assert selection.count_in(inside) == 2
+
+
+def test_strategy_rejects_non_table_input():
+    with pytest.raises(TypeError, match="RoutingTable or Partition"):
+        TassStrategy(object())
+
+
+def test_strategy_plans_on_partition_directly():
+    partition = _partition()
+    strategy = TassStrategy(partition, phi=1.0)
+    values = np.array([partition.starts[0], partition.starts[0] + 3])
+    selection = strategy.plan(values)
+    assert strategy.last_selection is selection
+    assert selection.indices.tolist() == [0]
