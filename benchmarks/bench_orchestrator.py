@@ -1,0 +1,83 @@
+"""Campaign orchestrator: checkpointing overhead and wave throughput.
+
+Runs the same short campaign with checkpointing disabled and with a
+durable checkpoint after every shard, on the benchmark dataset.  The
+two timings recorded in ``BENCH_<preset>.json`` bound the cost of the
+resume guarantee — the acceptance target is < 10% wall-clock overhead
+on the small preset — and the runs must agree byte-for-byte on every
+deterministic field, re-asserting kill-and-resume's precondition on
+the full benchmark dataset.
+"""
+
+import json
+import shutil
+import tempfile
+
+import pytest
+
+from repro.orchestrator import CampaignSpec, ReseedPolicy, run_campaign
+
+_WAVES = 2
+_PHI = 0.9
+
+
+@pytest.fixture(scope="module")
+def campaign_spec(dataset):
+    return CampaignSpec(
+        name="bench",
+        preset=dataset.preset,
+        protocol="http",
+        phi=_PHI,
+        waves=_WAVES,
+        reseed=ReseedPolicy("interval", interval=0),
+        shards=4,
+        executor="serial",
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_status(campaign_spec, dataset):
+    return run_campaign(campaign_spec, dataset=dataset)
+
+
+def _deterministic_digest(status):
+    return json.dumps(
+        {"waves": status["waves"], "totals": status["totals"]},
+        sort_keys=True,
+    )
+
+
+def test_campaign_checkpoint_off(
+    benchmark, campaign_spec, dataset, reference_status
+):
+    status = benchmark.pedantic(
+        run_campaign,
+        args=(campaign_spec,),
+        kwargs=dict(dataset=dataset),
+        rounds=3,
+        iterations=1,
+    )
+    assert _deterministic_digest(status) == _deterministic_digest(
+        reference_status
+    )
+
+
+def test_campaign_checkpoint_every_shard(
+    benchmark, campaign_spec, dataset, reference_status
+):
+    dirs = []
+
+    def fresh_dir():
+        dirs.append(tempfile.mkdtemp(prefix="bench-orch-"))
+        return (campaign_spec,), dict(dataset=dataset, directory=dirs[-1])
+
+    try:
+        status = benchmark.pedantic(
+            run_campaign, setup=fresh_dir, rounds=3, iterations=1
+        )
+        assert _deterministic_digest(status) == _deterministic_digest(
+            reference_status
+        )
+    finally:
+        for directory in dirs:
+            shutil.rmtree(directory, ignore_errors=True)

@@ -5,6 +5,10 @@ variant spends a small monthly exploration budget on uniform probes
 into the unselected announced space and absorbs any prefix where
 exploration finds responsive hosts.  It can only gain hitrate (the
 selection only grows) at the cost of the exploration probes.
+
+The per-wave cores (complement sampling, selection accounting,
+exploration + absorption) live in :mod:`repro.orchestrator.waves`, so
+the same logic both renders this analysis and drives live campaigns.
 """
 
 from __future__ import annotations
@@ -14,9 +18,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.bgp.backends import count_with_backend
 from repro.bgp.table import LESS_SPECIFIC
 from repro.core.tass import select_by_density
+from repro.orchestrator.waves import explore_unselected, selection_stats
 
 __all__ = ["AdaptiveComparison", "AdaptiveResult", "run_adaptive", "render_adaptive"]
 
@@ -39,27 +43,6 @@ class AdaptiveComparison:
 class AdaptiveResult:
     def __init__(self, comparisons):
         self.comparisons = list(comparisons)
-
-
-def _sample_complement(rng, partition, selected, n):
-    """Uniform sample of the unselected announced space."""
-    unselected = np.flatnonzero(~selected)
-    sizes = partition.sizes[unselected]
-    total = int(sizes.sum())
-    if total == 0 or n == 0:
-        return np.empty(0, dtype=np.int64), unselected
-    bounds = np.cumsum(sizes)
-    draws = rng.integers(0, total, size=n)
-    slot = np.searchsorted(bounds, draws, side="right")
-    offset = draws - (bounds[slot] - sizes[slot])
-    return partition.starts[unselected[slot]] + offset, unselected
-
-
-def _selection_stats(partition, selected, values, backend=None):
-    starts = partition.starts[selected]
-    ends = partition.ends[selected]
-    found = count_with_backend(starts, ends, values, backend).sum()
-    return int(found), int((ends - starts).sum())
 
 
 def run_adaptive(dataset, backend=None) -> AdaptiveResult:
@@ -85,30 +68,25 @@ def run_adaptive(dataset, backend=None) -> AdaptiveResult:
         absorbed = 0
         for month in range(1, len(series)):
             values = series[month].addresses.values
-            s_found, s_size = _selection_stats(
+            s_found, s_size = selection_stats(
                 partition, static_sel, values, backend=backend
             )
             static_probes += s_size
             static_final = s_found / len(values)
 
-            a_found, a_size = _selection_stats(
+            a_found, a_size = selection_stats(
                 partition, adaptive_sel, values, backend=backend
             )
             explore_n = max(
                 1, int(EXPLORE_FRAC * (announced - a_size))
             )
-            probes, _ = _sample_complement(
-                rng, partition, adaptive_sel, explore_n
+            _, hits, fresh = explore_unselected(
+                rng, partition, adaptive_sel, values, explore_n
             )
             adaptive_probes += a_size + explore_n
-            idx = np.searchsorted(values, probes).clip(max=len(values) - 1)
-            hits = probes[values[idx] == probes]
-            adaptive_final = (a_found + len(np.unique(hits))) / len(values)
-            if len(hits):
-                new_parts = np.unique(partition.index_of(hits))
-                fresh = new_parts[~adaptive_sel[new_parts]]
-                adaptive_sel[fresh] = True
-                absorbed += len(fresh)
+            adaptive_final = (a_found + len(hits)) / len(values)
+            adaptive_sel[fresh] = True
+            absorbed += len(fresh)
 
         comparisons.append(
             AdaptiveComparison(

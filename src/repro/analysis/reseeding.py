@@ -4,6 +4,9 @@ Re-seeding re-derives the selection from a fresh full scan of the
 announced space.  More frequent re-seeds keep the hitrate pinned at the
 phi target but cost a full-space scan each time — this sweep quantifies
 the probes-vs-accuracy trade-off.
+
+The per-wave hold-or-reseed step lives in
+:mod:`repro.orchestrator.waves`, shared with the campaign runner.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from dataclasses import dataclass
 from repro.analysis.report import format_table
 from repro.bgp.table import LESS_SPECIFIC
 from repro.core.tass import TassStrategy
+from repro.orchestrator.waves import hold_or_reseed
 
 __all__ = ["ReseedRow", "ReseedingResult", "run_reseeding", "render_reseeding"]
 
@@ -46,19 +50,14 @@ def _simulate(table, series, announced, reseed_every, backend=None) -> ReseedRow
     reseeds = 0
     for month in range(1, len(series)):
         snapshot = series[month]
-        if reseed_every is not None and month % reseed_every == 0:
-            # Re-seed: a full scan of the announced space both measures
-            # everything and refreshes the selection for later months.
-            probes += announced
-            rates.append(1.0)
-            selection = strategy.plan(snapshot)
-            reseeds += 1
-        else:
-            probes += selection.probe_count()
-            values = snapshot.addresses.values
-            rates.append(
-                selection.count_in(values, backend=backend) / len(values)
-            )
+        reseed = reseed_every is not None and month % reseed_every == 0
+        selection, month_probes, rate = hold_or_reseed(
+            strategy, selection, snapshot, reseed, announced,
+            backend=backend,
+        )
+        probes += month_probes
+        rates.append(rate)
+        reseeds += int(reseed)
     return ReseedRow(
         protocol=series.protocol,
         reseed_every=reseed_every,

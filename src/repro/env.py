@@ -1,0 +1,103 @@
+"""Validated environment knobs shared by the scan layer and orchestrator.
+
+Every process-wide tuning knob the package reads from the environment is
+parsed here, with one resolution rule everywhere: an explicit argument
+wins, then the environment variable, then the built-in default — and a
+bad value raises a :class:`ValueError` naming the knob, the offending
+value, and the accepted choices, instead of a silent fallback or a
+cryptic failure deep inside a hot loop.
+
+Knobs:
+
+- ``REPRO_SCAN_SHARDS``   — positive shard count for sharded scans;
+- ``REPRO_SCAN_EXECUTOR`` — ``serial`` or ``process``;
+- ``REPRO_COUNT_BACKEND`` — a counting backend registered in
+  :mod:`repro.bgp.backends`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "ENV_SCAN_SHARDS",
+    "ENV_SCAN_EXECUTOR",
+    "ENV_COUNT_BACKEND",
+    "EXECUTORS",
+    "scan_shards",
+    "scan_executor",
+    "count_backend",
+]
+
+ENV_SCAN_SHARDS = "REPRO_SCAN_SHARDS"
+ENV_SCAN_EXECUTOR = "REPRO_SCAN_EXECUTOR"
+ENV_COUNT_BACKEND = "REPRO_COUNT_BACKEND"
+
+#: The executors ``run_sharded`` knows how to drive.
+EXECUTORS = ("serial", "process")
+
+
+def _resolve(explicit, env_var, default):
+    """explicit argument > environment variable > default."""
+    if explicit is not None:
+        return explicit, "argument"
+    raw = os.environ.get(env_var)
+    if raw is not None:
+        return raw, env_var
+    return default, "default"
+
+
+def scan_shards(explicit=None) -> int:
+    """The validated scan shard count (>= 1).
+
+    ``explicit`` wins over ``$REPRO_SCAN_SHARDS`` over the default of 1.
+    Non-integer or non-positive values raise a :class:`ValueError` that
+    names the source of the bad value.
+    """
+    raw, source = _resolve(explicit, ENV_SCAN_SHARDS, 1)
+    try:
+        # Round-trip through str so 2.5 (or True) is rejected rather
+        # than silently truncated by int().
+        value = int(str(raw).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"scan shards must be a positive integer, got {raw!r} "
+            f"(from {source})"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"scan shards must be >= 1, got {value} (from {source})"
+        )
+    return value
+
+
+def scan_executor(explicit=None) -> str:
+    """The validated scan executor name (``serial`` or ``process``)."""
+    raw, source = _resolve(explicit, ENV_SCAN_EXECUTOR, "serial")
+    if raw not in EXECUTORS:
+        choices = ", ".join(repr(e) for e in EXECUTORS)
+        raise ValueError(
+            f"unknown executor {raw!r} (from {source}); "
+            f"choose one of {choices}"
+        )
+    return raw
+
+
+def count_backend(explicit=None) -> str:
+    """The validated counting-backend *name* the resolution lands on.
+
+    Unlike :func:`repro.bgp.backends.get_backend` — which resolves at
+    counting time, deep inside a campaign — this validates up front so
+    knob errors surface before any work is done.
+    """
+    # Imported lazily: backends is a leaf module but pulls in numpy
+    # machinery this module doesn't otherwise need.
+    from repro.bgp.backends import DEFAULT_BACKEND, available_backends
+
+    raw, source = _resolve(explicit, ENV_COUNT_BACKEND, DEFAULT_BACKEND)
+    if raw not in available_backends():
+        raise ValueError(
+            f"unknown counting backend {raw!r} (from {source}); "
+            f"available: {available_backends()}"
+        )
+    return raw

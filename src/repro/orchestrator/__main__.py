@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.orchestrator``."""
+
+import sys
+
+from repro.orchestrator.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,532 @@
+"""Campaign spec, state, and the resumable multi-wave runner.
+
+A :class:`CampaignSpec` declares *what* to scan — dataset preset,
+strategy parameters, wave count, reseed policy, shard/executor/backend
+knobs, probe budget, pacing rate.  :class:`CampaignRunner` compiles it
+into waves and executes them: each wave plans a selection with
+:class:`~repro.core.tass.TassStrategy`, drains it through
+:func:`~repro.scan.sharded.run_sharded`, optionally spends an
+exploration budget on the unselected space (absorbing prefixes that
+respond), and feeds the achieved hitrate into the reseed decision for
+the next wave.
+
+Determinism contract: campaign state is checkpointed atomically after
+every shard, and everything the campaign computes — probe counts,
+responses, wave accounting, the final status document — is a pure
+function of (spec, dataset).  Wall-clock telemetry (pacing rates,
+timestamps) goes to ``progress.json`` only.  A run killed at any shard
+boundary and resumed therefore produces byte-identical merged results,
+wave accounting, and status JSON to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.table import LESS_SPECIFIC, MORE_SPECIFIC
+from repro.core.tass import TassStrategy
+from repro.env import count_backend, scan_executor, scan_shards
+from repro.orchestrator.checkpoint import CheckpointStore
+from repro.orchestrator.pacing import PacedTargets, TokenBucket
+from repro.orchestrator.waves import (
+    ReseedPolicy,
+    compile_waves,
+    explore_unselected,
+)
+from repro.scan.blocklist import default_blocklist
+from repro.scan.engine import EngineConfig, ScanResult
+from repro.scan.sharded import run_sharded
+
+__all__ = [
+    "CampaignSpec",
+    "WaveRecord",
+    "CampaignRunner",
+    "run_campaign",
+    "status_from_manifest",
+]
+
+_VIEWS = (LESS_SPECIFIC, MORE_SPECIFIC)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one scan campaign."""
+
+    name: str = "campaign"
+    preset: str = "tiny"
+    dataset_seed: int = 0
+    protocol: str = "http"
+    phi: float = 0.95
+    view: str = LESS_SPECIFIC
+    waves: int = 3
+    reseed: ReseedPolicy = ReseedPolicy()
+    #: Re-seed waves scan the full announced space (a real discovery
+    #: scan, charged at ``announced`` probes) instead of the selection.
+    reseed_scan: bool = False
+    #: Per-wave exploration budget as a fraction of the unselected
+    #: space (0 disables); hits absorb their prefix into the selection.
+    explore_frac: float = 0.0
+    shards: int | None = None
+    executor: str | None = None
+    backend: str | None = None
+    batch_size: int = 1 << 16
+    #: Total probe budget; the campaign stops at the first wave
+    #: boundary where completed waves have spent it (None = unlimited).
+    probe_budget: int | None = None
+    #: Token-bucket pacing rate in probes/sec (None = unpaced).
+    probes_per_sec: float | None = None
+    use_blocklist: bool = False
+    scan_seed: int = 0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if self.waves < 1:
+            raise ValueError("a campaign needs at least one wave")
+        if not 0.0 < self.phi <= 1.0:
+            raise ValueError("phi must be in (0, 1]")
+        if self.view not in _VIEWS:
+            raise ValueError(
+                f"unknown prefix view {self.view!r}; choose one of {_VIEWS}"
+            )
+        if not 0.0 <= self.explore_frac < 1.0:
+            raise ValueError("explore_frac must be in [0, 1)")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.probe_budget is not None and self.probe_budget < 0:
+            raise ValueError("probe_budget must be >= 0")
+        if self.probes_per_sec is not None and self.probes_per_sec <= 0:
+            raise ValueError("probes_per_sec must be > 0")
+
+    def resolved(self) -> "CampaignSpec":
+        """Pin the shard/executor/backend knobs (argument > env > default).
+
+        Resolution happens once, at plan time, and the resolved values
+        are stored in ``campaign.json`` — so a resume under a different
+        environment still replays the original campaign exactly.
+        """
+        executor = scan_executor(self.executor)
+        if self.probes_per_sec is not None and executor == "process":
+            raise ValueError(
+                "pacing (probes_per_sec) requires the serial executor: "
+                "a token bucket cannot be shared across worker processes"
+            )
+        return dataclasses.replace(
+            self,
+            shards=scan_shards(self.shards),
+            executor=executor,
+            backend=count_backend(self.backend),
+        )
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["reseed"] = self.reseed.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        data = dict(data)
+        data["reseed"] = ReseedPolicy.from_dict(data["reseed"])
+        return cls(**data)
+
+
+@dataclass
+class WaveRecord:
+    """Deterministic accounting of one completed wave."""
+
+    wave: int
+    month: int
+    reseeded: bool
+    selected_prefixes: int
+    selected_addresses: int
+    probes_sent: int
+    responses: int
+    blocked: int
+    batches: int
+    explore_probes: int
+    explore_hits: int
+    absorbed_prefixes: int
+    responsive_hosts: int
+    hitrate: float
+    missed: int
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WaveRecord":
+        return cls(**data)
+
+
+@dataclass
+class _State:
+    """Mutable campaign position — everything a checkpoint persists."""
+
+    wave: int = 0
+    shard: int = 0
+    wave_planned: bool = False
+    wave_reseeded: bool = False
+    records: list = field(default_factory=list)
+    shard_results: list = field(default_factory=list)
+    mask: np.ndarray | None = None
+    finished: bool = False
+    budget_exhausted: bool = False
+
+
+class CampaignRunner:
+    """Execute (or resume) one campaign against a census dataset."""
+
+    def __init__(self, spec: CampaignSpec, dataset=None, directory=None):
+        self.spec = spec.resolved()
+        if dataset is None:
+            from repro.census.loader import get_dataset
+
+            dataset = get_dataset(
+                preset=self.spec.preset, seed=self.spec.dataset_seed
+            )
+        self.dataset = dataset
+        self.series = dataset.series_for(self.spec.protocol)
+        self.partition = dataset.topology.table.partition(self.spec.view)
+        self.announced = self.partition.address_count()
+        self.strategy = TassStrategy(
+            self.partition, phi=self.spec.phi, backend=self.spec.backend
+        )
+        self.blocklist = (
+            default_blocklist() if self.spec.use_blocklist else None
+        )
+        self.store = (
+            CheckpointStore(directory) if directory is not None else None
+        )
+        self.plans = compile_waves(
+            self.spec.waves, len(self.series), self.spec.reseed
+        )
+        self.state = _State(
+            mask=np.zeros(len(self.partition), dtype=bool),
+        )
+        self._rng = np.random.default_rng([self.spec.scan_seed, 0x5EED])
+        self._on_checkpoint = None
+        self._pace = True
+
+    # -- construction from disk ---------------------------------------
+
+    @classmethod
+    def from_directory(cls, directory, dataset=None) -> "CampaignRunner":
+        """A fresh runner for the spec planned under ``directory``."""
+        store = CheckpointStore(directory)
+        spec = CampaignSpec.from_dict(store.read_spec())
+        return cls(spec, dataset=dataset, directory=directory)
+
+    @classmethod
+    def resume(cls, directory, dataset=None) -> "CampaignRunner":
+        """Rebuild a runner from the latest checkpoint under ``directory``."""
+        store = CheckpointStore(directory)
+        manifest, arrays = store.load()
+        spec = CampaignSpec.from_dict(manifest["spec"])
+        runner = cls(spec, dataset=dataset, directory=directory)
+        runner._restore(manifest, arrays)
+        return runner
+
+    def _restore(self, manifest: dict, arrays: dict) -> None:
+        state = self.state
+        state.wave = manifest["wave"]
+        state.shard = manifest["shard"]
+        state.wave_planned = manifest["wave_planned"]
+        state.wave_reseeded = manifest["wave_reseeded"]
+        state.records = [
+            WaveRecord.from_dict(r) for r in manifest["records"]
+        ]
+        state.shard_results = [
+            ScanResult(
+                probes_sent=p, responses=r, blocked=b, batches=n,
+                protocol=self.spec.protocol,
+            )
+            for p, r, b, n in manifest["shard_results"]
+        ]
+        state.finished = manifest["finished"]
+        state.budget_exhausted = manifest["budget_exhausted"]
+        mask = np.asarray(arrays["mask"], dtype=bool)
+        if mask.shape != (len(self.partition),):
+            raise ValueError(
+                "checkpoint selection mask does not match the dataset "
+                "partition — was the campaign planned against a "
+                "different dataset?"
+            )
+        state.mask = mask
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = manifest["rng_state"]
+
+    # -- checkpointing -------------------------------------------------
+
+    def _manifest(self) -> dict:
+        state = self.state
+        return {
+            "spec": self.spec.to_dict(),
+            "announced": self.announced,
+            "wave": state.wave,
+            "shard": state.shard,
+            "wave_planned": state.wave_planned,
+            "wave_reseeded": state.wave_reseeded,
+            "records": [r.to_dict() for r in state.records],
+            "shard_results": [
+                [r.probes_sent, r.responses, r.blocked, r.batches]
+                for r in state.shard_results
+            ],
+            "rng_state": self._rng.bit_generator.state,
+            "finished": state.finished,
+            "budget_exhausted": state.budget_exhausted,
+        }
+
+    def _checkpoint(self) -> dict:
+        manifest = self._manifest()
+        if self.store is not None:
+            self.store.save(manifest, {"mask": self.state.mask})
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(self)
+        return manifest
+
+    def _progress(self, pacer=None, manifest=None) -> None:
+        if self.store is None:
+            return
+        # Reuse the manifest the checkpoint just built when available —
+        # a shard boundary shouldn't serialize the campaign twice.
+        totals = status_from_manifest(manifest or self._manifest())[
+            "totals"
+        ]
+        self.store.write_progress(
+            {
+                "time": time.time(),
+                "wave": self.state.wave,
+                "shard": self.state.shard,
+                "waves_completed": len(self.state.records),
+                "probes_sent": totals["probes_sent"],
+                "achieved_probes_per_sec": (
+                    pacer.achieved_rate if pacer is not None else None
+                ),
+                "finished": self.state.finished,
+            }
+        )
+
+    # -- accounting ----------------------------------------------------
+
+    def _totals(self) -> dict:
+        return status_from_manifest(self._manifest())["totals"]
+
+    def _budget_spent(self) -> int:
+        """Probes charged against the budget (completed waves only)."""
+        return sum(
+            r.probes_sent + r.blocked for r in self.state.records
+        )
+
+    def status(self) -> dict:
+        """The deterministic status document (no wall-clock content)."""
+        return status_from_manifest(self._manifest())
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, on_checkpoint=None, pace: bool = True) -> dict:
+        """Drive the campaign to completion (or budget exhaustion).
+
+        ``on_checkpoint(runner)`` fires after every durable checkpoint —
+        the test suite uses it to kill the campaign at exact shard
+        boundaries.  ``pace=False`` ignores ``probes_per_sec`` for this
+        invocation only (results are pacing-invariant by construction).
+        """
+        self._on_checkpoint = on_checkpoint
+        self._pace = pace
+        state = self.state
+        while not state.finished:
+            if state.wave >= self.spec.waves:
+                state.finished = True
+                break
+            budget = self.spec.probe_budget
+            if (
+                budget is not None
+                and state.shard == 0
+                and not state.wave_planned
+                and self._budget_spent() >= budget
+            ):
+                state.finished = True
+                state.budget_exhausted = True
+                break
+            self._run_wave()
+        self._checkpoint()
+        status = self.status()
+        if self.store is not None:
+            self.store.write_status(status)
+            self._progress()
+        return status
+
+    def _plan_wave(self, plan, snapshot) -> None:
+        """Resolve the reseed decision and (re)plan the selection."""
+        state = self.state
+        previous = state.records[-1].hitrate if state.records else None
+        reseeded = self.spec.reseed.decide(plan.wave, previous)
+        if reseeded:
+            selection = self.strategy.plan(snapshot)
+            mask = np.zeros(len(self.partition), dtype=bool)
+            mask[selection.indices] = True
+            state.mask = mask
+        state.wave_reseeded = reseeded
+        state.wave_planned = True
+
+    def _wave_targets(self):
+        """The interval spec this wave drains through the engine."""
+        state = self.state
+        if self.spec.reseed_scan and state.wave_reseeded:
+            # A real discovery scan: the whole announced space.
+            return (self.partition.starts, self.partition.ends)
+        mask = state.mask
+        return (self.partition.starts[mask], self.partition.ends[mask])
+
+    def _run_wave(self) -> None:
+        spec, state = self.spec, self.state
+        plan = self.plans[state.wave]
+        snapshot = self.series[plan.month]
+        if not state.wave_planned:
+            self._plan_wave(plan, snapshot)
+        selected_prefixes = int(state.mask.sum())
+        selected_addresses = int(
+            self.partition.sizes[state.mask].sum()
+        )
+
+        pacer = None
+        wrap = None
+        if spec.probes_per_sec is not None and self._pace:
+            pacer = TokenBucket(spec.probes_per_sec)
+            wrap = lambda targets: PacedTargets(targets, pacer)
+
+        def on_shard(index, result):
+            state.shard_results.append(result)
+            state.shard = index + 1
+            manifest = self._checkpoint()
+            self._progress(pacer, manifest=manifest)
+
+        # Shards already drained by an interrupted run stay in place;
+        # on_shard appends the remainder, so every checkpoint carries
+        # the full in-flight wave.
+        completed = list(state.shard_results)
+        sharded = run_sharded(
+            self._wave_targets(),
+            snapshot.addresses,
+            shards=spec.shards,
+            executor=spec.executor,
+            config=EngineConfig(batch_size=spec.batch_size),
+            blocklist=self.blocklist,
+            protocol=spec.protocol,
+            # A distinct probe order per wave, deterministic in the spec.
+            seed=spec.scan_seed + plan.wave,
+            on_shard=on_shard,
+            completed=completed,
+            wrap_targets=wrap,
+        )
+        # on_shard only sees newly drained shards; make the state whole.
+        state.shard_results = list(sharded.shard_results)
+        state.shard = len(state.shard_results)
+
+        explore_probes = explore_hits = absorbed = 0
+        values = snapshot.addresses.values
+        # A full discovery scan already probed the unselected space —
+        # exploring it again would double-count its responsive hosts.
+        full_scan = spec.reseed_scan and state.wave_reseeded
+        if spec.explore_frac > 0.0 and not full_scan:
+            unselected = self.announced - selected_addresses
+            explore_n = (
+                max(1, int(spec.explore_frac * unselected))
+                if unselected > 0
+                else 0
+            )
+            probes, hits, fresh = explore_unselected(
+                self._rng, self.partition, state.mask, values, explore_n
+            )
+            state.mask[fresh] = True
+            explore_probes = int(probes.size)
+            explore_hits = int(hits.size)
+            absorbed = int(fresh.size)
+
+        merged = sharded.result
+        responses_total = merged.responses + explore_hits
+        hosts = len(values)
+        state.records.append(
+            WaveRecord(
+                wave=plan.wave,
+                month=plan.month,
+                reseeded=state.wave_reseeded,
+                selected_prefixes=selected_prefixes,
+                selected_addresses=selected_addresses,
+                probes_sent=merged.probes_sent + explore_probes,
+                responses=responses_total,
+                blocked=merged.blocked,
+                batches=merged.batches,
+                explore_probes=explore_probes,
+                explore_hits=explore_hits,
+                absorbed_prefixes=absorbed,
+                responsive_hosts=hosts,
+                hitrate=responses_total / hosts if hosts else 0.0,
+                missed=hosts - responses_total,
+            )
+        )
+        state.wave += 1
+        state.shard = 0
+        state.wave_planned = False
+        state.wave_reseeded = False
+        state.shard_results = []
+        manifest = self._checkpoint()
+        self._progress(pacer, manifest=manifest)
+
+
+def status_from_manifest(manifest: dict) -> dict:
+    """The deterministic status document, from a checkpoint manifest.
+
+    The single source of the status shape: the runner's
+    :meth:`CampaignRunner.status` feeds its live manifest through this
+    same function, so reading a checkpoint off disk (no dataset load)
+    yields byte-identical status to asking the running campaign.
+    In-flight shard counters are folded into the totals wholesale —
+    probes, responses *and* blocked — so a mid-campaign document stays
+    internally consistent.
+    """
+    spec = manifest["spec"]
+    records = manifest["records"]
+    in_flight = manifest["shard_results"]
+    totals = {
+        "probes_sent": sum(r["probes_sent"] for r in records)
+        + sum(probes for probes, _, _, _ in in_flight),
+        "responses": sum(r["responses"] for r in records)
+        + sum(responses for _, responses, _, _ in in_flight),
+        "blocked": sum(r["blocked"] for r in records)
+        + sum(blocked for _, _, blocked, _ in in_flight),
+        "explore_probes": sum(r["explore_probes"] for r in records),
+        "explore_hits": sum(r["explore_hits"] for r in records),
+        "absorbed_prefixes": sum(
+            r["absorbed_prefixes"] for r in records
+        ),
+        "reseeds": sum(1 for r in records if r["reseeded"]),
+    }
+    return {
+        "name": spec["name"],
+        "spec": spec,
+        "announced_addresses": manifest["announced"],
+        "waves_planned": spec["waves"],
+        "waves_completed": len(records),
+        "position": {
+            "wave": manifest["wave"], "shard": manifest["shard"],
+        },
+        "finished": manifest["finished"],
+        "budget_exhausted": manifest["budget_exhausted"],
+        "waves": records,
+        "totals": totals,
+    }
+
+
+def run_campaign(
+    spec: CampaignSpec, dataset=None, directory=None, **run_kwargs
+) -> dict:
+    """Plan and run a campaign in one call; returns the status document."""
+    runner = CampaignRunner(spec, dataset=dataset, directory=directory)
+    if runner.store is not None:
+        runner.store.write_spec(runner.spec.to_dict())
+    return runner.run(**run_kwargs)

@@ -1,0 +1,130 @@
+"""Atomic single-file campaign checkpoints (JSON manifest + npz arrays).
+
+A checkpoint is one compressed ``.npz`` holding the JSON manifest (the
+campaign position, accounting, and RNG state) alongside the state
+arrays (the live selection mask).  Writing a *single* file via
+write-tmp-then-rename makes every save atomic: a kill at any instant
+leaves either the previous checkpoint or the new one, never a manifest
+that disagrees with its arrays — which is what makes shard boundaries
+safe resume points.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointStore"]
+
+#: Bump when the manifest/array schema changes shape.
+CHECKPOINT_VERSION = 1
+
+_MANIFEST_KEY = "manifest"
+
+
+class CheckpointStore:
+    """Durable campaign state under one directory.
+
+    Files:
+
+    - ``campaign.json``  — the immutable (resolved) campaign spec,
+      written once at plan time;
+    - ``checkpoint.npz`` — the latest atomic checkpoint;
+    - ``status.json``    — the deterministic status document;
+    - ``progress.json``  — wall-clock telemetry (timestamps, achieved
+      probe rate); deliberately *outside* the determinism contract.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def spec_path(self) -> Path:
+        return self.directory / "campaign.json"
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.directory / "checkpoint.npz"
+
+    @property
+    def status_path(self) -> Path:
+        return self.directory / "status.json"
+
+    @property
+    def progress_path(self) -> Path:
+        return self.directory / "progress.json"
+
+    # -- spec ----------------------------------------------------------
+
+    def write_spec(self, spec_dict: dict) -> None:
+        self._write_json(self.spec_path, spec_dict)
+
+    def read_spec(self) -> dict:
+        if not self.spec_path.exists():
+            raise FileNotFoundError(
+                f"no campaign.json under {self.directory} — "
+                "run `plan` first"
+            )
+        return json.loads(self.spec_path.read_text())
+
+    # -- checkpoint ----------------------------------------------------
+
+    def has_checkpoint(self) -> bool:
+        return self.checkpoint_path.exists()
+
+    def save(self, manifest: dict, arrays: dict) -> None:
+        """Atomically persist one checkpoint (manifest + arrays)."""
+        manifest = dict(manifest, version=CHECKPOINT_VERSION)
+        payload = {_MANIFEST_KEY: json.dumps(manifest, sort_keys=True)}
+        for name, array in arrays.items():
+            if name == _MANIFEST_KEY:
+                raise ValueError(f"array name {name!r} is reserved")
+            payload[name] = np.asarray(array)
+        tmp = self.checkpoint_path.with_suffix(".tmp.npz")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        tmp.replace(self.checkpoint_path)
+
+    def load(self) -> tuple[dict, dict]:
+        """Load the latest checkpoint as ``(manifest, arrays)``."""
+        if not self.has_checkpoint():
+            raise FileNotFoundError(
+                f"no checkpoint under {self.directory} — nothing to resume"
+            )
+        with np.load(self.checkpoint_path) as data:
+            manifest = json.loads(str(data[_MANIFEST_KEY]))
+            arrays = {
+                name: data[name]
+                for name in data.files
+                if name != _MANIFEST_KEY
+            }
+        if manifest.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {manifest.get('version')!r} does not "
+                f"match this code's version {CHECKPOINT_VERSION}"
+            )
+        return manifest, arrays
+
+    def clear(self) -> None:
+        self.checkpoint_path.unlink(missing_ok=True)
+
+    # -- status & telemetry -------------------------------------------
+
+    def write_status(self, status: dict) -> None:
+        self._write_json(self.status_path, status)
+
+    def write_progress(self, progress: dict) -> None:
+        self._write_json(self.progress_path, progress)
+
+    @staticmethod
+    def _write_json(path: Path, document: dict) -> None:
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        tmp.replace(path)

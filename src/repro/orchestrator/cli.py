@@ -1,0 +1,253 @@
+"""``python -m repro.orchestrator`` — plan / run / resume / status.
+
+The campaign directory is the unit of state: ``plan`` writes the
+resolved spec there, ``run`` executes it from scratch (checkpointing
+after every shard), ``resume`` continues from the latest checkpoint,
+and ``status`` prints the deterministic status document.  ``run`` and
+``resume`` translate SIGTERM/SIGINT into a clean exit — the durable
+checkpoint already on disk is the resume point, so killing a campaign
+at any moment loses at most one partially drained shard re-scanned on
+resume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+
+from repro.bgp.table import LESS_SPECIFIC, MORE_SPECIFIC
+from repro.orchestrator.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    status_from_manifest,
+)
+from repro.orchestrator.checkpoint import CheckpointStore
+from repro.orchestrator.waves import RESEED_MODES, ReseedPolicy
+
+__all__ = ["main", "build_parser"]
+
+#: Exit code after a termination signal (128 + SIGTERM).
+SIGTERM_EXIT = 143
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.orchestrator",
+        description="Resumable multi-wave TASS scan campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser(
+        "plan", help="resolve a campaign spec and write campaign.json"
+    )
+    plan.add_argument("--dir", required=True, help="campaign directory")
+    plan.add_argument("--name", default="campaign")
+    plan.add_argument("--preset", default="tiny")
+    plan.add_argument("--dataset-seed", type=int, default=0)
+    plan.add_argument("--protocol", default="http")
+    plan.add_argument("--phi", type=float, default=0.95)
+    plan.add_argument(
+        "--view",
+        default=LESS_SPECIFIC,
+        choices=(LESS_SPECIFIC, MORE_SPECIFIC),
+    )
+    plan.add_argument("--waves", type=int, default=3)
+    plan.add_argument(
+        "--reseed-mode", default="interval", choices=RESEED_MODES
+    )
+    plan.add_argument("--reseed-interval", type=int, default=0)
+    plan.add_argument("--min-hitrate", type=float, default=0.0)
+    plan.add_argument(
+        "--reseed-scan",
+        action="store_true",
+        help="re-seed waves scan the full announced space",
+    )
+    plan.add_argument("--explore-frac", type=float, default=0.0)
+    plan.add_argument("--shards", default=None)
+    plan.add_argument("--executor", default=None)
+    plan.add_argument("--backend", default=None)
+    plan.add_argument("--batch-size", type=int, default=1 << 16)
+    plan.add_argument("--probe-budget", type=int, default=None)
+    plan.add_argument("--probes-per-sec", type=float, default=None)
+    plan.add_argument("--use-blocklist", action="store_true")
+    plan.add_argument("--scan-seed", type=int, default=0)
+
+    run = sub.add_parser(
+        "run", help="execute the planned campaign from scratch"
+    )
+    run.add_argument("--dir", required=True)
+    run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard an existing checkpoint instead of refusing to run",
+    )
+    run.add_argument(
+        "--no-pace",
+        action="store_true",
+        help="ignore the spec's pacing rate for this invocation "
+        "(results are pacing-invariant)",
+    )
+
+    resume = sub.add_parser(
+        "resume", help="continue from the latest checkpoint"
+    )
+    resume.add_argument("--dir", required=True)
+    resume.add_argument("--no-pace", action="store_true")
+
+    status = sub.add_parser(
+        "status", help="print the deterministic status document"
+    )
+    status.add_argument("--dir", required=True)
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON (the kill-and-resume contract)",
+    )
+    return parser
+
+
+def _spec_from_args(args) -> CampaignSpec:
+    # .resolved() validates the knob strings (argument > env var >
+    # default, via repro.env), so a typo'd --shards or REPRO_SCAN_*
+    # value fails at plan time with a clear message instead of deep
+    # inside wave execution.
+    return CampaignSpec(
+        name=args.name,
+        preset=args.preset,
+        dataset_seed=args.dataset_seed,
+        protocol=args.protocol,
+        phi=args.phi,
+        view=args.view,
+        waves=args.waves,
+        reseed=ReseedPolicy(
+            mode=args.reseed_mode,
+            interval=args.reseed_interval,
+            min_hitrate=args.min_hitrate,
+        ),
+        reseed_scan=args.reseed_scan,
+        explore_frac=args.explore_frac,
+        shards=args.shards,
+        executor=args.executor,
+        backend=args.backend,
+        batch_size=args.batch_size,
+        probe_budget=args.probe_budget,
+        probes_per_sec=args.probes_per_sec,
+        use_blocklist=args.use_blocklist,
+        scan_seed=args.scan_seed,
+    ).resolved()
+
+
+def _install_signal_handlers() -> None:
+    def bail(signum, frame):
+        # The checkpoint on disk is already consistent; just leave.
+        sys.exit(SIGTERM_EXIT)
+
+    signal.signal(signal.SIGTERM, bail)
+    signal.signal(signal.SIGINT, bail)
+
+
+def _render_plan(spec: CampaignSpec, runner: CampaignRunner) -> str:
+    lines = [
+        f"campaign {spec.name!r}: {spec.waves} wave(s) over preset "
+        f"{spec.preset!r} / protocol {spec.protocol!r}",
+        f"  phi={spec.phi} view={spec.view} shards={spec.shards} "
+        f"executor={spec.executor} backend={spec.backend}",
+        f"  reseed={spec.reseed.to_dict()} explore_frac="
+        f"{spec.explore_frac} budget={spec.probe_budget} "
+        f"pace={spec.probes_per_sec}",
+        f"  announced addresses: {runner.announced}",
+    ]
+    for plan in runner.plans:
+        reseed = (
+            "reseed"
+            if plan.reseed
+            else "hold" if plan.reseed is not None else "conditional"
+        )
+        lines.append(
+            f"  wave {plan.wave}: census month {plan.month} [{reseed}]"
+        )
+    return "\n".join(lines)
+
+
+def _print_outcome(status: dict) -> None:
+    totals = status["totals"]
+    print(
+        f"campaign {status['name']!r}: "
+        f"{status['waves_completed']}/{status['waves_planned']} waves, "
+        f"{totals['probes_sent']} probes, "
+        f"{totals['responses']} responses, "
+        f"{totals['reseeds']} reseed(s)"
+        + (" [budget exhausted]" if status["budget_exhausted"] else "")
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (ValueError, FileNotFoundError) as exc:
+        # Knob/spec/state errors are user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args) -> int:
+    if args.command == "plan":
+        spec = _spec_from_args(args)
+        runner = CampaignRunner(spec, directory=args.dir)
+        runner.store.write_spec(runner.spec.to_dict())
+        print(_render_plan(runner.spec, runner))
+        return 0
+
+    if args.command == "run":
+        _install_signal_handlers()
+        # Refuse before the (potentially expensive) dataset load.
+        store = CheckpointStore(args.dir)
+        if store.has_checkpoint():
+            if not args.fresh:
+                print(
+                    f"error: {args.dir} already has a checkpoint; "
+                    "use `resume` to continue it or `run --fresh` to "
+                    "start over",
+                    file=sys.stderr,
+                )
+                return 2
+            store.clear()
+        runner = CampaignRunner.from_directory(args.dir)
+        status = runner.run(pace=not args.no_pace)
+        _print_outcome(status)
+        return 0
+
+    if args.command == "resume":
+        _install_signal_handlers()
+        runner = CampaignRunner.resume(args.dir)
+        status = runner.run(pace=not args.no_pace)
+        _print_outcome(status)
+        return 0
+
+    if args.command == "status":
+        store = CheckpointStore(args.dir)
+        if store.has_checkpoint():
+            # The manifest alone carries the whole status document —
+            # no dataset load, no runner construction.
+            manifest, _ = store.load()
+            status = status_from_manifest(manifest)
+        else:
+            status = CampaignRunner.from_directory(args.dir).status()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            _print_outcome(status)
+            for record in status["waves"]:
+                print(
+                    f"  wave {record['wave']} (month {record['month']}): "
+                    f"{'reseed' if record['reseeded'] else 'hold'} "
+                    f"hitrate={record['hitrate']:.4f} "
+                    f"probes={record['probes_sent']} "
+                    f"absorbed={record['absorbed_prefixes']}"
+                )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")

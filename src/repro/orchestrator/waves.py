@@ -1,0 +1,203 @@
+"""Wave compilation, reseed policy, and the shared per-wave cores.
+
+The orchestrator and the analysis layer answer the same per-wave
+questions — how well does the current selection cover this month's
+population, what does holding vs re-seeding cost, where should an
+exploration budget go — so the cores live here, importable by both:
+:mod:`repro.analysis.adaptive` and :mod:`repro.analysis.reseeding`
+build their figures from these functions, and
+:class:`~repro.orchestrator.campaign.CampaignRunner` drives real
+(simulated) scans through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RESEED_MODES",
+    "ReseedPolicy",
+    "WavePlan",
+    "compile_waves",
+    "sample_complement",
+    "selection_stats",
+    "explore_unselected",
+    "hold_or_reseed",
+]
+
+RESEED_MODES = ("never", "interval", "hitrate")
+
+
+# ---------------------------------------------------------------------------
+# Reseed policy and static wave compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReseedPolicy:
+    """When does a campaign re-derive its selection from a fresh census?
+
+    - ``never``    — the wave-0 selection is kept for the whole campaign;
+    - ``interval`` — re-seed every ``interval`` waves (0 = never);
+    - ``hitrate``  — re-seed whenever the previous wave's achieved
+      hitrate fell below ``min_hitrate`` (the adaptive trigger: the
+      response/missed accounting of one wave drives the next).
+    """
+
+    mode: str = "interval"
+    interval: int = 0
+    min_hitrate: float = 0.0
+
+    def __post_init__(self):
+        if self.mode not in RESEED_MODES:
+            raise ValueError(
+                f"unknown reseed mode {self.mode!r}; "
+                f"choose one of {RESEED_MODES}"
+            )
+        if self.interval < 0:
+            raise ValueError("reseed interval must be >= 0")
+        if not 0.0 <= self.min_hitrate <= 1.0:
+            raise ValueError("min_hitrate must be in [0, 1]")
+
+    def decide(self, wave: int, previous_hitrate: float | None) -> bool:
+        """Re-seed at ``wave``?  Wave 0 always seeds."""
+        if wave == 0:
+            return True
+        if self.mode == "never":
+            return False
+        if self.mode == "interval":
+            return self.interval > 0 and wave % self.interval == 0
+        return (
+            previous_hitrate is not None
+            and previous_hitrate < self.min_hitrate
+        )
+
+    def static_schedule(self) -> bool:
+        """Is the reseed schedule known before the campaign runs?"""
+        return self.mode != "hitrate"
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "interval": self.interval,
+            "min_hitrate": self.min_hitrate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReseedPolicy":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class WavePlan:
+    """The static part of one wave: which month it scans, reseed intent.
+
+    ``reseed`` is ``None`` when the decision is runtime-conditional
+    (the ``hitrate`` policy) — the runner resolves it from the previous
+    wave's accounting.
+    """
+
+    wave: int
+    month: int
+    reseed: bool | None
+
+
+def compile_waves(waves: int, months: int, policy: ReseedPolicy):
+    """Compile a campaign spec into its static wave sequence.
+
+    Wave ``w`` scans the census month ``min(w, months - 1)`` — a
+    campaign longer than the dataset keeps scanning the last month's
+    population rather than wrapping back to the (stale) seed.
+    """
+    if waves < 1:
+        raise ValueError("a campaign needs at least one wave")
+    if months < 1:
+        raise ValueError("a campaign needs at least one census month")
+    static = policy.static_schedule()
+    return [
+        WavePlan(
+            wave=w,
+            month=min(w, months - 1),
+            reseed=policy.decide(w, None) if static or w == 0 else None,
+        )
+        for w in range(waves)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Per-wave cores (shared with repro.analysis.adaptive / .reseeding)
+# ---------------------------------------------------------------------------
+
+
+def sample_complement(rng, partition, selected, n):
+    """Uniform sample of ``n`` addresses from the unselected space.
+
+    ``selected`` is a boolean mask over the partition; the draw is
+    uniform over all addresses of the unselected intervals.  Returns
+    ``(addresses, unselected_indices)``.
+    """
+    unselected = np.flatnonzero(~selected)
+    sizes = partition.sizes[unselected]
+    total = int(sizes.sum())
+    if total == 0 or n == 0:
+        return np.empty(0, dtype=np.int64), unselected
+    bounds = np.cumsum(sizes)
+    draws = rng.integers(0, total, size=n)
+    slot = np.searchsorted(bounds, draws, side="right")
+    offset = draws - (bounds[slot] - sizes[slot])
+    return partition.starts[unselected[slot]] + offset, unselected
+
+
+def selection_stats(partition, selected, values, backend=None):
+    """(responsive addresses found, probe cost) of a masked selection."""
+    from repro.bgp.backends import count_with_backend
+
+    starts = partition.starts[selected]
+    ends = partition.ends[selected]
+    found = count_with_backend(starts, ends, values, backend).sum()
+    return int(found), int((ends - starts).sum())
+
+
+def explore_unselected(rng, partition, selected, values, n):
+    """Spend an ``n``-probe exploration budget on the unselected space.
+
+    Draws ``n`` uniform probes outside the selection, checks them
+    against the sorted responsive array ``values``, and reports which
+    unselected partition indices the hits would absorb.  Returns
+    ``(probes, unique_hits, fresh_indices)`` — the caller decides
+    whether to absorb (``selected[fresh_indices] = True``).
+    """
+    probes, _ = sample_complement(rng, partition, selected, n)
+    empty = np.empty(0, dtype=np.int64)
+    if probes.size == 0 or len(values) == 0:
+        return probes, empty, empty
+    idx = np.searchsorted(values, probes).clip(max=len(values) - 1)
+    hits = np.unique(probes[values[idx] == probes])
+    if hits.size == 0:
+        return probes, hits, empty
+    parts = np.unique(partition.index_of(hits))
+    parts = parts[parts >= 0]
+    return probes, hits, parts[~selected[parts]]
+
+
+def hold_or_reseed(
+    strategy, selection, snapshot, reseed, announced, backend=None
+):
+    """One campaign wave of the paper's step-5 accounting.
+
+    Re-seeding scans the whole announced space (``announced`` probes)
+    — which both measures everything (hitrate 1.0) and re-derives the
+    selection for later waves.  Holding scans the current selection
+    only.  Returns ``(selection, probes, hitrate)``.
+    """
+    if reseed:
+        return strategy.plan(snapshot), announced, 1.0
+    values = snapshot.addresses.values
+    rate = (
+        selection.count_in(values, backend=backend) / len(values)
+        if len(values)
+        else 0.0
+    )
+    return selection, selection.probe_count(), rate

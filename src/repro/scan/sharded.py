@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.census.addrset import AddressSet
+from repro.env import scan_executor, scan_shards
 from repro.scan.blocklist import Blocklist
 from repro.scan.engine import EngineConfig, ScanEngine, ScanResult
 from repro.scan.permutation import CyclicPermutation
@@ -135,7 +136,11 @@ def shard_targets(spec, shards: int = 1, seed: int = 0):
     ]
 
 
-def merge_results(results, batch_size: int = EngineConfig.batch_size):
+def merge_results(
+    results,
+    batch_size: int | None = None,
+    config: EngineConfig | None = None,
+):
     """Merge per-shard :class:`ScanResult`\\ s into one, deterministically.
 
     Counters are summed in shard order.  ``batches`` is normalised to
@@ -143,7 +148,15 @@ def merge_results(results, batch_size: int = EngineConfig.batch_size):
     (``ceil(targets / batch_size)``) rather than summed, because shard
     boundaries fragment batches — the normalisation is what makes the
     merged result shard-count invariant.
+
+    The batch size flows from the active config: pass ``batch_size``
+    directly or a ``config`` object; with neither, a fresh
+    :class:`EngineConfig` supplies its default at call time (never a
+    class attribute frozen at import, so custom batch sizes survive
+    the merge).
     """
+    if batch_size is None:
+        batch_size = (config or EngineConfig()).batch_size
     results = list(results)
     merged = ScanResult(
         protocol=next(
@@ -220,6 +233,10 @@ def run_sharded(
     blocklist: Blocklist | None = None,
     protocol: str | None = None,
     seed: int = 0,
+    *,
+    on_shard=None,
+    completed=None,
+    wrap_targets=None,
 ) -> ShardedScanResult:
     """Scan a target spec across ``shards`` engine workers and merge.
 
@@ -227,15 +244,29 @@ def run_sharded(
     ``"process"`` (one worker process per shard, capped at the CPU
     count).  Both produce identical results; the merged result is also
     invariant in ``shards`` itself.
+
+    Checkpoint hooks (the orchestrator's shard-boundary machinery):
+
+    - ``on_shard(index, result)`` fires after each shard finishes, in
+      shard order — a durable checkpoint written here makes the shard
+      boundary a resume point.
+    - ``completed`` is a list of :class:`ScanResult`\\ s for shards
+      ``0..len(completed)-1`` already drained by an earlier, interrupted
+      run: those shards are skipped and their results merged as-is, so
+      kill-and-resume reproduces the uninterrupted run exactly.
+    - ``wrap_targets(shard_targets)`` wraps each shard's target stream
+      before draining (e.g. in a pacer); serial executor only, since a
+      wrapper's state cannot be shared across worker processes.
     """
-    if shards is None:
-        shards = int(os.environ.get("REPRO_SCAN_SHARDS", "1"))
-    if executor is None:
-        executor = os.environ.get("REPRO_SCAN_EXECUTOR", "serial")
-    if executor not in ("serial", "process"):
-        raise ValueError(f"unknown executor {executor!r}")
+    shards = scan_shards(shards)
+    executor = scan_executor(executor)
     config = config or EngineConfig()
-    targets = shard_targets(spec, shards=shards, seed=seed)
+    done = list(completed or [])
+    if len(done) > shards:
+        raise ValueError(
+            f"{len(done)} completed shard results for a {shards}-shard scan"
+        )
+    targets = shard_targets(spec, shards=shards, seed=seed)[len(done):]
     if not isinstance(responsive, AddressSet):
         responsive = AddressSet(responsive)
     values = responsive.values
@@ -246,21 +277,38 @@ def run_sharded(
     # A single shard never pays for a pool; report the mode actually used.
     if shards == 1:
         executor = "serial"
-    if executor == "process":
-        workers = min(shards, os.cpu_count() or 1)
+    if executor == "process" and wrap_targets is not None:
+        raise ValueError(
+            "wrap_targets requires the serial executor: wrapper state "
+            "cannot be shared across worker processes"
+        )
+    shard_results = list(done)
+    # An all-completed resume has nothing to drain — never fork a pool
+    # (or build a worker) just to map over zero shards.
+    if not targets:
+        pass
+    elif executor == "process":
+        workers = min(len(targets), os.cpu_count() or 1)
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=_pool_context(),
             initializer=_init_worker,
             initargs=worker_args,
         ) as pool:
-            # pool.map preserves shard order, so merges stay deterministic.
-            shard_results = list(pool.map(_run_shard_pooled, targets))
+            # pool.map preserves shard order, so merges stay
+            # deterministic and on_shard fires at true shard boundaries.
+            for result in pool.map(_run_shard_pooled, targets):
+                shard_results.append(result)
+                if on_shard is not None:
+                    on_shard(len(shard_results) - 1, result)
     else:
         engine, truth, protocol = _build_worker(*worker_args)
-        shard_results = [
-            engine.run(shard, truth, protocol=protocol) for shard in targets
-        ]
+        for shard in targets:
+            stream = shard if wrap_targets is None else wrap_targets(shard)
+            result = engine.run(stream, truth, protocol=protocol)
+            shard_results.append(result)
+            if on_shard is not None:
+                on_shard(len(shard_results) - 1, result)
     merged = merge_results(shard_results, batch_size=config.batch_size)
     return ShardedScanResult(
         result=merged,

@@ -1,0 +1,93 @@
+"""Validated environment knobs: clear errors instead of silent fallbacks."""
+
+import pytest
+
+from repro.env import count_backend, scan_executor, scan_shards
+from repro.scan.sharded import run_sharded
+
+
+class TestScanShards:
+    def test_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCAN_SHARDS", raising=False)
+        assert scan_shards() == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_SHARDS", "8")
+        assert scan_shards(3) == 3
+        assert scan_shards() == 8
+
+    def test_env_string_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_SHARDS", "4")
+        assert scan_shards() == 4
+
+    @pytest.mark.parametrize("bad", ["abc", "", "2.5", "0x4"])
+    def test_non_integer_rejected_with_source(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SCAN_SHARDS", bad)
+        with pytest.raises(ValueError) as excinfo:
+            scan_shards()
+        message = str(excinfo.value)
+        assert "positive integer" in message
+        assert repr(bad) in message
+        assert "REPRO_SCAN_SHARDS" in message
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_non_positive_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_SCAN_SHARDS", bad)
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            scan_shards()
+
+    def test_bad_explicit_names_argument(self):
+        with pytest.raises(ValueError, match=r"\(from argument\)"):
+            scan_shards("nope")
+
+    @pytest.mark.parametrize("bad", [2.5, True])
+    def test_non_integral_python_values_rejected(self, bad):
+        # int() would silently truncate these; the knob must not.
+        with pytest.raises(ValueError, match="positive integer"):
+            scan_shards(bad)
+
+
+class TestScanExecutor:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCAN_EXECUTOR", raising=False)
+        assert scan_executor() == "serial"
+
+    def test_valid_values(self, monkeypatch):
+        assert scan_executor("process") == "process"
+        monkeypatch.setenv("REPRO_SCAN_EXECUTOR", "process")
+        assert scan_executor() == "process"
+
+    def test_bad_env_value_lists_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_EXECUTOR", "threads")
+        with pytest.raises(ValueError) as excinfo:
+            scan_executor()
+        message = str(excinfo.value)
+        assert "unknown executor 'threads'" in message
+        assert "'serial'" in message and "'process'" in message
+        assert "REPRO_SCAN_EXECUTOR" in message
+
+
+class TestCountBackend:
+    def test_defaults_to_searchsorted(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COUNT_BACKEND", raising=False)
+        assert count_backend() == "searchsorted"
+
+    def test_registered_names_accepted(self):
+        for name in ("searchsorted", "bitmap", "trie"):
+            assert count_backend(name) == name
+
+    def test_bad_value_lists_available(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COUNT_BACKEND", "gpu")
+        with pytest.raises(ValueError) as excinfo:
+            count_backend()
+        message = str(excinfo.value)
+        assert "unknown counting backend 'gpu'" in message
+        assert "searchsorted" in message
+
+
+def test_run_sharded_surfaces_bad_env_shards(monkeypatch):
+    import numpy as np
+
+    monkeypatch.setenv("REPRO_SCAN_SHARDS", "lots")
+    with pytest.raises(ValueError, match="positive integer"):
+        run_sharded(1000, np.array([1, 2, 3], dtype=np.int64))

@@ -1,0 +1,538 @@
+"""Orchestrator units: spec, policy, pacing, checkpoints, wave behavior."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.orchestrator import (
+    CampaignRunner,
+    CampaignSpec,
+    CheckpointStore,
+    PacedTargets,
+    ReseedPolicy,
+    TokenBucket,
+    compile_waves,
+    run_campaign,
+)
+from repro.orchestrator.waves import (
+    explore_unselected,
+    hold_or_reseed,
+    sample_complement,
+    selection_stats,
+)
+
+SPEC = CampaignSpec(
+    preset="mini",
+    waves=3,
+    phi=0.9,
+    shards=3,
+    executor="serial",
+    batch_size=1 << 12,
+)
+
+
+# ---------------------------------------------------------------------------
+# Spec and policy
+# ---------------------------------------------------------------------------
+
+
+class TestCampaignSpec:
+    def test_roundtrips_through_dict(self):
+        spec = SPEC.resolved()
+        again = CampaignSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert again == spec
+
+    def test_resolved_pins_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_SHARDS", "5")
+        monkeypatch.setenv("REPRO_COUNT_BACKEND", "bitmap")
+        resolved = CampaignSpec().resolved()
+        assert resolved.shards == 5
+        assert resolved.executor == "serial"
+        assert resolved.backend == "bitmap"
+        # Resolution is idempotent: a stored spec re-resolves to itself.
+        monkeypatch.setenv("REPRO_SCAN_SHARDS", "9")
+        assert resolved.resolved() == resolved
+
+    def test_bad_env_knob_fails_at_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_EXECUTOR", "bogus")
+        with pytest.raises(ValueError, match="unknown executor"):
+            CampaignSpec().resolved()
+
+    def test_pacing_requires_serial_executor(self):
+        spec = CampaignSpec(executor="process", probes_per_sec=1000.0)
+        with pytest.raises(ValueError, match="serial executor"):
+            spec.resolved()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"waves": 0},
+            {"phi": 0.0},
+            {"phi": 1.5},
+            {"view": "sideways"},
+            {"explore_frac": 1.0},
+            {"batch_size": 0},
+            {"probe_budget": -1},
+            {"probes_per_sec": 0.0},
+            {"name": ""},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CampaignSpec(**kwargs)
+
+
+class TestReseedPolicy:
+    def test_wave_zero_always_seeds(self):
+        for policy in (
+            ReseedPolicy("never"),
+            ReseedPolicy("interval", interval=0),
+            ReseedPolicy("hitrate", min_hitrate=0.0),
+        ):
+            assert policy.decide(0, None) is True
+
+    def test_interval_schedule(self):
+        policy = ReseedPolicy("interval", interval=2)
+        assert [policy.decide(w, None) for w in range(5)] == [
+            True, False, True, False, True,
+        ]
+
+    def test_hitrate_trigger_uses_previous_wave(self):
+        policy = ReseedPolicy("hitrate", min_hitrate=0.9)
+        assert policy.decide(1, 0.95) is False
+        assert policy.decide(1, 0.85) is True
+        assert policy.decide(1, None) is False
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown reseed mode"):
+            ReseedPolicy("sometimes")
+
+    def test_compile_waves_clamps_months(self):
+        plans = compile_waves(5, 3, ReseedPolicy("interval", interval=2))
+        assert [p.month for p in plans] == [0, 1, 2, 2, 2]
+        assert [p.reseed for p in plans] == [True, False, True, False, True]
+
+    def test_compile_waves_hitrate_is_conditional(self):
+        plans = compile_waves(3, 3, ReseedPolicy("hitrate", min_hitrate=0.5))
+        assert plans[0].reseed is True
+        assert plans[1].reseed is None and plans[2].reseed is None
+
+
+# ---------------------------------------------------------------------------
+# Pacing
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        assert seconds >= 0
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_within_capacity_never_sleeps(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, clock=clock, sleep=clock.sleep)
+        assert bucket.throttle(100) == 0.0
+        assert bucket.slept == 0.0
+
+    def test_sustained_rate_is_bounded(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1000.0, clock=clock, sleep=clock.sleep)
+        for _ in range(10):
+            bucket.throttle(500)
+        # 5000 tokens at 1000/sec with a 1000-token burst head start.
+        assert clock.now == pytest.approx(4.0)
+        assert bucket.consumed == 5000
+        assert bucket.achieved_rate == pytest.approx(5000 / 4.0)
+
+    def test_oversized_request_allowed(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, capacity=10.0, clock=clock,
+                             sleep=clock.sleep)
+        bucket.throttle(1000)  # 100x the burst capacity
+        assert clock.now == pytest.approx((1000 - 10) / 100.0)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(10.0, capacity=0.0)
+
+    def test_paced_targets_passes_batches_through(self):
+        from repro.scan.sharded import IntervalTargets
+
+        clock = FakeClock()
+        bucket = TokenBucket(1e12, clock=clock, sleep=clock.sleep)
+        targets = IntervalTargets(5000, seed=3)
+        plain = [b.tolist() for b in targets.batches(512)]
+        paced = [
+            b.tolist()
+            for b in PacedTargets(targets, bucket).batches(512)
+        ]
+        assert paced == plain
+        assert bucket.consumed == 5000
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint store
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "camp")
+        manifest = {"wave": 2, "shard": 1, "records": [{"a": 1}]}
+        mask = np.array([True, False, True])
+        store.save(manifest, {"mask": mask})
+        loaded, arrays = store.load()
+        assert loaded["wave"] == 2 and loaded["shard"] == 1
+        assert loaded["version"] == 1
+        assert np.array_equal(arrays["mask"], mask)
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"wave": 0}, {"mask": np.zeros(3, dtype=bool)})
+        leftovers = [
+            p.name for p in tmp_path.iterdir() if ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+    def test_load_without_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nothing to resume"):
+            CheckpointStore(tmp_path).load()
+
+    def test_reserved_array_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            CheckpointStore(tmp_path).save({}, {"manifest": np.zeros(1)})
+
+    def test_missing_spec_mentions_plan(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="plan"):
+            CheckpointStore(tmp_path).read_spec()
+
+
+# ---------------------------------------------------------------------------
+# Wave cores
+# ---------------------------------------------------------------------------
+
+
+class TestWaveCores:
+    def test_sample_complement_stays_outside_selection(self, mini_dataset):
+        partition = mini_dataset.topology.table.partition("less-specific")
+        selected = np.array([True, False, False, True])
+        rng = np.random.default_rng(0)
+        probes, unselected = sample_complement(rng, partition, selected, 500)
+        assert unselected.tolist() == [1, 2]
+        assert len(probes) == 500
+        inside = partition.index_of(probes)
+        assert set(inside.tolist()) <= {1, 2}
+
+    def test_selection_stats_counts_exactly(self, mini_dataset):
+        partition = mini_dataset.topology.table.partition("less-specific")
+        values = mini_dataset.series_for("http").seed_snapshot.addresses.values
+        selected = np.array([True, False, False, False])
+        found, size = selection_stats(partition, selected, values)
+        assert size == int(partition.sizes[0])
+        assert found == int(partition.count_addresses(values)[0])
+
+    def test_explore_absorbs_only_fresh_prefixes(self, mini_dataset):
+        partition = mini_dataset.topology.table.partition("less-specific")
+        values = mini_dataset.series_for("http").seed_snapshot.addresses.values
+        selected = np.array([True, False, False, True])
+        rng = np.random.default_rng(1)
+        probes, hits, fresh = explore_unselected(
+            rng, partition, selected, values, 20000
+        )
+        assert len(probes) == 20000
+        assert np.all(~selected[fresh])
+        # Every reported hit really is a responsive address.
+        assert np.isin(hits, values).all()
+
+    def test_hold_or_reseed_accounting(self, mini_dataset):
+        from repro.core.tass import TassStrategy
+
+        table = mini_dataset.topology.table
+        announced = table.partition("less-specific").address_count()
+        series = mini_dataset.series_for("http")
+        strategy = TassStrategy(table, phi=0.9)
+        selection = strategy.plan(series.seed_snapshot)
+        held, probes, rate = hold_or_reseed(
+            strategy, selection, series[1], False, announced
+        )
+        assert held is selection
+        assert probes == selection.probe_count()
+        assert 0.0 < rate <= 1.0
+        reseeded, probes2, rate2 = hold_or_reseed(
+            strategy, selection, series[1], True, announced
+        )
+        assert reseeded is not selection
+        assert probes2 == announced and rate2 == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Campaign behavior
+# ---------------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_records_one_per_wave(self, mini_dataset):
+        status = run_campaign(SPEC, dataset=mini_dataset)
+        assert status["waves_completed"] == 3
+        assert [w["wave"] for w in status["waves"]] == [0, 1, 2]
+        assert status["finished"] is True
+        assert status["budget_exhausted"] is False
+        assert status["waves"][0]["reseeded"] is True
+
+    def test_wave_scan_matches_selection_hitrate(self, mini_dataset):
+        from repro.core.tass import TassStrategy
+
+        status = run_campaign(SPEC, dataset=mini_dataset)
+        table = mini_dataset.topology.table
+        series = mini_dataset.series_for("http")
+        selection = TassStrategy(table, phi=0.9).plan(series.seed_snapshot)
+        wave0 = status["waves"][0]
+        assert wave0["probes_sent"] == selection.probe_count()
+        assert wave0["responses"] == selection.count_in(
+            series[0].addresses.values
+        )
+        assert wave0["missed"] == wave0["responsive_hosts"] - wave0["responses"]
+
+    def test_interval_policy_reseeds_on_schedule(self, mini_dataset):
+        spec = CampaignSpec(
+            preset="mini", waves=4, phi=0.9, shards=2, executor="serial",
+            reseed=ReseedPolicy("interval", interval=2),
+            batch_size=1 << 12,
+        )
+        status = run_campaign(spec, dataset=mini_dataset)
+        assert [w["reseeded"] for w in status["waves"]] == [
+            True, False, True, False,
+        ]
+        assert status["totals"]["reseeds"] == 2
+
+    def test_hitrate_policy_reseeds_when_coverage_drops(self, mini_dataset):
+        spec = CampaignSpec(
+            preset="mini", waves=3, phi=0.9, shards=1, executor="serial",
+            reseed=ReseedPolicy("hitrate", min_hitrate=1.0),
+            batch_size=1 << 12,
+        )
+        status = run_campaign(spec, dataset=mini_dataset)
+        # A threshold of 1.0 forces a reseed after every imperfect wave.
+        assert all(w["reseeded"] for w in status["waves"])
+
+    def test_probe_budget_stops_campaign(self, mini_dataset):
+        one_wave = run_campaign(SPEC, dataset=mini_dataset)["waves"][0]
+        spec = CampaignSpec(
+            preset="mini", waves=3, phi=0.9, shards=3, executor="serial",
+            probe_budget=one_wave["probes_sent"],
+            batch_size=1 << 12,
+        )
+        status = run_campaign(spec, dataset=mini_dataset)
+        assert status["budget_exhausted"] is True
+        assert status["waves_completed"] == 1
+        assert status["finished"] is True
+
+    def test_exploration_absorbs_and_accounts(self, mini_dataset):
+        spec = CampaignSpec(
+            preset="mini", waves=3, phi=0.7, shards=2, executor="serial",
+            explore_frac=0.01, batch_size=1 << 12,
+        )
+        status = run_campaign(spec, dataset=mini_dataset)
+        totals = status["totals"]
+        assert totals["explore_probes"] > 0
+        for wave in status["waves"]:
+            assert wave["probes_sent"] >= wave["explore_probes"]
+            assert wave["responses"] >= wave["explore_hits"]
+
+    def test_reseed_scan_charges_announced_space(self, mini_dataset):
+        announced = mini_dataset.topology.table.partition(
+            "less-specific"
+        ).address_count()
+        spec = CampaignSpec(
+            preset="mini", waves=2, phi=0.9, shards=2, executor="serial",
+            reseed_scan=True, batch_size=1 << 12,
+        )
+        status = run_campaign(spec, dataset=mini_dataset)
+        wave0 = status["waves"][0]
+        assert wave0["probes_sent"] == announced
+        assert wave0["hitrate"] == pytest.approx(1.0)
+        # Held waves still scan just the selection.
+        assert status["waves"][1]["probes_sent"] < announced
+
+    def test_full_scan_waves_skip_exploration(self, mini_dataset):
+        # A discovery scan already probed the unselected space;
+        # exploring it again would double-count hosts (hitrate > 1).
+        spec = CampaignSpec(
+            preset="mini", waves=2, phi=0.9, shards=2, executor="serial",
+            reseed_scan=True, explore_frac=0.05, batch_size=1 << 12,
+        )
+        status = run_campaign(spec, dataset=mini_dataset)
+        wave0 = status["waves"][0]
+        assert wave0["explore_probes"] == 0
+        assert wave0["hitrate"] == pytest.approx(1.0)
+        assert wave0["missed"] == 0
+        for wave in status["waves"]:
+            assert 0.0 <= wave["hitrate"] <= 1.0
+            assert wave["missed"] >= 0
+        # The held wave still explores.
+        assert status["waves"][1]["explore_probes"] > 0
+
+    def test_shard_count_invariant_accounting(self, mini_dataset):
+        baseline = None
+        for shards in (1, 2, 5):
+            spec = CampaignSpec(
+                preset="mini", waves=2, phi=0.9, shards=shards,
+                executor="serial", batch_size=1 << 12,
+            )
+            status = run_campaign(spec, dataset=mini_dataset)
+            digest = json.dumps(status["waves"], sort_keys=True)
+            if baseline is None:
+                baseline = digest
+            else:
+                assert digest == baseline
+
+    def test_pacing_does_not_change_results(self, mini_dataset):
+        unpaced = run_campaign(SPEC, dataset=mini_dataset)
+        paced_spec = CampaignSpec(
+            preset="mini", waves=3, phi=0.9, shards=3, executor="serial",
+            probes_per_sec=1e9, batch_size=1 << 12,
+        )
+        paced = run_campaign(paced_spec, dataset=mini_dataset)
+        assert paced["waves"] == unpaced["waves"]
+        assert paced["totals"] == unpaced["totals"]
+
+    def test_status_json_is_wall_clock_free(self, mini_dataset, tmp_path):
+        run_campaign(SPEC, dataset=mini_dataset, directory=tmp_path)
+        status_text = (tmp_path / "status.json").read_text()
+        status = json.loads(status_text)
+        assert "time" not in json.dumps(status)
+        # Telemetry lives in progress.json instead.
+        progress = json.loads((tmp_path / "progress.json").read_text())
+        assert "time" in progress
+
+    def test_mid_campaign_status_totals_are_consistent(
+        self, mini_dataset, tmp_path
+    ):
+        from repro.orchestrator.campaign import status_from_manifest
+
+        class Stop(Exception):
+            pass
+
+        runner = CampaignRunner(SPEC, dataset=mini_dataset,
+                                directory=tmp_path)
+        seen = [0]
+
+        def kill(r):
+            seen[0] += 1
+            if seen[0] == 5:  # mid wave 1 (wave 0 took 3+1 checkpoints)
+                raise Stop()
+
+        with pytest.raises(Stop):
+            runner.run(on_checkpoint=kill)
+        manifest, _ = CheckpointStore(tmp_path).load()
+        status = status_from_manifest(manifest)
+        assert status["position"]["wave"] == 1
+        assert status["position"]["shard"] == 1
+        # In-flight shard responses/blocked are folded in alongside the
+        # in-flight probes, keeping mid-campaign totals coherent.
+        wave0 = status["waves"][0]
+        in_flight = manifest["shard_results"]
+        assert status["totals"]["probes_sent"] == (
+            wave0["probes_sent"] + sum(s[0] for s in in_flight)
+        )
+        assert status["totals"]["responses"] == (
+            wave0["responses"] + sum(s[1] for s in in_flight)
+        )
+        assert len(in_flight) == 1
+
+    def test_runner_rejects_foreign_checkpoint_mask(
+        self, mini_dataset, tmp_path
+    ):
+        run_campaign(SPEC, dataset=mini_dataset, directory=tmp_path)
+        store = CheckpointStore(tmp_path)
+        manifest, _ = store.load()
+        store.save(manifest, {"mask": np.zeros(99, dtype=bool)})
+        with pytest.raises(ValueError, match="different dataset"):
+            CampaignRunner.resume(tmp_path, dataset=mini_dataset)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def cli_env(monkeypatch):
+    """Point the CLI's dataset cache at the committed tiny dataset."""
+    from pathlib import Path
+
+    monkeypatch.setenv(
+        "REPRO_DATA_DIR", str(Path(__file__).parent.parent / "data")
+    )
+
+
+class TestCli:
+    PLAN_ARGS = [
+        "--preset", "tiny", "--protocol", "http", "--phi", "0.5",
+        "--waves", "2", "--shards", "2", "--executor", "serial",
+        "--batch-size", "16384",
+    ]
+
+    def _plan(self, directory):
+        from repro.orchestrator.cli import main
+
+        return main(["plan", "--dir", str(directory), *self.PLAN_ARGS])
+
+    def test_plan_run_status_roundtrip(self, tmp_path, capsys, cli_env):
+        from repro.orchestrator.cli import main
+
+        assert self._plan(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "wave 0: census month 0 [reseed]" in out
+        assert "wave 1: census month 1 [hold]" in out
+        assert (tmp_path / "campaign.json").exists()
+
+        assert main(["run", "--dir", str(tmp_path)]) == 0
+        assert "2/2 waves" in capsys.readouterr().out
+
+        assert main(["status", "--dir", str(tmp_path), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["waves_completed"] == 2
+        assert status["finished"] is True
+        assert status["spec"]["shards"] == 2
+
+    def test_run_refuses_to_clobber_checkpoint(self, tmp_path, capsys,
+                                               cli_env):
+        from repro.orchestrator.cli import main
+
+        self._plan(tmp_path)
+        assert main(["run", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--dir", str(tmp_path)]) == 2
+        assert "resume" in capsys.readouterr().err
+        assert main(["run", "--dir", str(tmp_path), "--fresh"]) == 0
+
+    def test_run_without_plan_is_a_clean_error(self, tmp_path, capsys,
+                                               cli_env):
+        from repro.orchestrator.cli import main
+
+        assert main(["run", "--dir", str(tmp_path / "nowhere")]) == 2
+        assert "plan" in capsys.readouterr().err
+
+    def test_bad_knob_is_a_clean_error(self, tmp_path, capsys, cli_env):
+        from repro.orchestrator.cli import main
+
+        code = main(
+            ["plan", "--dir", str(tmp_path), "--preset", "tiny",
+             "--shards", "lots"]
+        )
+        assert code == 2
+        assert "positive integer" in capsys.readouterr().err

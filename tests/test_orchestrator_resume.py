@@ -1,0 +1,165 @@
+"""Kill-and-resume determinism: the orchestrator's load-bearing property.
+
+A campaign interrupted at *any* checkpoint (every shard boundary and
+every wave boundary) and resumed must produce byte-identical wave
+accounting, selection state, and final status JSON to the same campaign
+run uninterrupted.  Checked exhaustively at every checkpoint index for
+one configuration, and property-style over random configurations and
+kill points with Hypothesis.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import build_mini_dataset
+from repro.orchestrator import (
+    CampaignRunner,
+    CampaignSpec,
+    CheckpointStore,
+    ReseedPolicy,
+)
+
+
+class _Killed(RuntimeError):
+    """Raised by the checkpoint hook to simulate a kill -9 at a boundary."""
+
+
+def _status_bytes(status: dict) -> bytes:
+    return json.dumps(status, sort_keys=True).encode()
+
+
+def _run_uninterrupted(spec, directory=None):
+    runner = CampaignRunner(
+        spec, dataset=build_mini_dataset(), directory=directory
+    )
+    if runner.store is not None:
+        runner.store.write_spec(runner.spec.to_dict())
+    checkpoints = [0]
+
+    def count(_):
+        checkpoints[0] += 1
+
+    status = runner.run(on_checkpoint=count)
+    return status, checkpoints[0], runner
+
+
+def _run_killed_then_resumed(spec, directory, kill_at: int):
+    """Kill at checkpoint ``kill_at`` (1-based), resume, run to the end.
+
+    Returns ``(final_status, was_killed)`` — ``was_killed`` is False when
+    the campaign finished before reaching the kill point.
+    """
+    runner = CampaignRunner(
+        spec, dataset=build_mini_dataset(), directory=directory
+    )
+    runner.store.write_spec(runner.spec.to_dict())
+    seen = [0]
+
+    def kill(_):
+        seen[0] += 1
+        if seen[0] == kill_at:
+            raise _Killed()
+
+    try:
+        status = runner.run(on_checkpoint=kill)
+        return status, False
+    except _Killed:
+        pass
+    resumed = CampaignRunner.resume(directory, dataset=build_mini_dataset())
+    return resumed.run(), True
+
+
+BASE_SPEC = CampaignSpec(
+    preset="mini",
+    waves=3,
+    phi=0.9,
+    shards=3,
+    executor="serial",
+    reseed=ReseedPolicy("interval", interval=2),
+    explore_frac=0.01,
+    batch_size=1 << 12,
+)
+
+
+def test_every_checkpoint_index_resumes_identically(tmp_path):
+    full_status, n_checkpoints, _ = _run_uninterrupted(BASE_SPEC)
+    expected = _status_bytes(full_status)
+    # 3 waves x 3 shards + 3 wave-boundary checkpoints + the final one.
+    assert n_checkpoints == 13
+    for kill_at in range(1, n_checkpoints):
+        directory = tmp_path / f"kill{kill_at}"
+        status, was_killed = _run_killed_then_resumed(
+            BASE_SPEC, directory, kill_at
+        )
+        assert was_killed, f"checkpoint {kill_at} was never reached"
+        assert _status_bytes(status) == expected, (
+            f"resume from checkpoint {kill_at} diverged"
+        )
+
+
+def test_resume_preserves_selection_mask_bytes(tmp_path):
+    _, n_checkpoints, reference = _run_uninterrupted(
+        BASE_SPEC, directory=tmp_path / "full"
+    )
+    reference_mask = reference.state.mask.tobytes()
+    kill_at = n_checkpoints // 2
+    directory = tmp_path / "killed"
+    status, was_killed = _run_killed_then_resumed(
+        BASE_SPEC, directory, kill_at
+    )
+    assert was_killed
+    _, arrays = CheckpointStore(directory).load()
+    assert np.asarray(arrays["mask"]).tobytes() == reference_mask
+    assert status["finished"] is True
+
+
+def test_resume_of_finished_campaign_is_idempotent(tmp_path):
+    full_status, _, _ = _run_uninterrupted(
+        BASE_SPEC, directory=tmp_path / "camp"
+    )
+    resumed = CampaignRunner.resume(
+        tmp_path / "camp", dataset=build_mini_dataset()
+    )
+    assert _status_bytes(resumed.run()) == _status_bytes(full_status)
+
+
+def test_status_file_matches_returned_status(tmp_path):
+    full_status, _, runner = _run_uninterrupted(
+        BASE_SPEC, directory=tmp_path
+    )
+    on_disk = json.loads(runner.store.status_path.read_text())
+    assert on_disk == full_status
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    shards=st.integers(min_value=1, max_value=4),
+    waves=st.integers(min_value=1, max_value=4),
+    interval=st.integers(min_value=0, max_value=2),
+    explore=st.sampled_from([0.0, 0.02]),
+    kill_at=st.integers(min_value=1, max_value=30),
+)
+def test_resume_property(tmp_path_factory, shards, waves, interval,
+                         explore, kill_at):
+    """Resuming from any reachable checkpoint reproduces the full run."""
+    spec = CampaignSpec(
+        preset="mini",
+        waves=waves,
+        phi=0.85,
+        shards=shards,
+        executor="serial",
+        reseed=ReseedPolicy("interval", interval=interval),
+        explore_frac=explore,
+        batch_size=1 << 12,
+    )
+    full_status, n_checkpoints, _ = _run_uninterrupted(spec)
+    directory = tmp_path_factory.mktemp("campaign")
+    status, was_killed = _run_killed_then_resumed(spec, directory, kill_at)
+    if kill_at > n_checkpoints:
+        # The campaign finished before the kill point — still identical.
+        assert not was_killed
+    assert _status_bytes(status) == _status_bytes(full_status)
