@@ -26,6 +26,40 @@ def test_permutation_throughput(benchmark):
     assert benchmark(run) == 1 << 20
 
 
+def test_iter_direct_throughput(benchmark):
+    """Scalar iteration as shipped: yield straight from the batch arrays.
+
+    Micro-bench pair with :func:`test_iter_tolist_reference` — the
+    direct path skips the per-batch list materialisation (lazy,
+    constant memory, cheap early exit) at the price of yielding
+    ``np.int64`` scalars, which full-drain loops consume slightly
+    slower than a pre-built list.  Keeping both quantifies that
+    trade-off run over run.
+    """
+
+    def run():
+        count = 0
+        for _ in CyclicPermutation(1 << 17, seed=1):
+            count += 1
+        return count
+
+    assert benchmark(run) == 1 << 17
+
+
+def test_iter_tolist_reference(benchmark):
+    """The old ``batch.tolist()`` iteration, kept as the reference."""
+
+    def run():
+        perm = CyclicPermutation(1 << 17, seed=1)
+        count = 0
+        for batch in perm.batches():
+            for _ in batch.tolist():
+                count += 1
+        return count
+
+    assert benchmark(run) == 1 << 17
+
+
 def test_engine_throughput(benchmark, dataset):
     series = dataset.series_for("ftp")
     strategy = TassStrategy(dataset.topology.table, phi=0.5)

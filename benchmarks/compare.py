@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Diff a fresh benchmark run against a committed baseline; gate CI.
+
+Compares per-benchmark *mean* times from one or more pytest-benchmark
+JSON files against a baseline JSON (normally the committed
+``BENCH_small.json``) and exits non-zero when any benchmark regressed
+by more than ``--tolerance`` (fractional; 0.25 = +25%).
+
+Noise handling: pass several candidate run files and the **best (min)
+mean per benchmark across runs** is compared — a 2-run best-of absorbs
+one-off scheduler hiccups without hiding a real regression.
+
+Benchmarks present in only one side are reported but never fail the
+gate (new benchmarks have no baseline yet; retired ones have no fresh
+run).  Speedups are reported too — a big one is the cue to re-commit
+the baseline.
+
+Usage::
+
+    python benchmarks/compare.py RUN.json [RUN2.json ...] \
+        --against BENCH_small.json [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["load_means", "best_means", "compare", "main"]
+
+
+def load_means(path) -> dict[str, float]:
+    """``{benchmark fullname: mean seconds}`` from a pytest-benchmark JSON."""
+    data = json.loads(Path(path).read_text())
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in data["benchmarks"]
+    }
+
+
+def best_means(paths) -> dict[str, float]:
+    """Per-benchmark minimum mean across several run files (best-of-N)."""
+    best: dict[str, float] = {}
+    for path in paths:
+        for name, mean in load_means(path).items():
+            if name not in best or mean < best[name]:
+                best[name] = mean
+    return best
+
+
+def compare(baseline: dict, candidate: dict, tolerance: float):
+    """Split the common benchmarks into (regressions, ok) row lists.
+
+    Each row is ``(fullname, baseline_mean, candidate_mean, ratio)``;
+    a regression is ``candidate > baseline * (1 + tolerance)``.
+    """
+    regressions, ok = [], []
+    for name in sorted(set(baseline) & set(candidate)):
+        base, cand = baseline[name], candidate[name]
+        ratio = cand / base if base > 0 else float("inf")
+        row = (name, base, cand, ratio)
+        (regressions if cand > base * (1.0 + tolerance) else ok).append(row)
+    return regressions, ok
+
+
+def _render(rows, flag: str) -> str:
+    return "\n".join(
+        f"  {flag} {name}: {base * 1e3:9.3f}ms -> {cand * 1e3:9.3f}ms "
+        f"({ratio:5.2f}x)"
+        for name, base, cand, ratio in rows
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "runs",
+        nargs="+",
+        help="candidate pytest-benchmark JSON file(s); several = best-of-N",
+    )
+    parser.add_argument(
+        "--against",
+        required=True,
+        help="baseline pytest-benchmark JSON (e.g. BENCH_small.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional mean-time growth (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("tolerance must be >= 0")
+
+    baseline = load_means(args.against)
+    candidate = best_means(args.runs)
+    regressions, ok = compare(baseline, candidate, args.tolerance)
+
+    missing = sorted(set(baseline) - set(candidate))
+    fresh = sorted(set(candidate) - set(baseline))
+    print(
+        f"compared {len(regressions) + len(ok)} benchmark(s) against "
+        f"{args.against} (tolerance +{args.tolerance:.0%}, "
+        f"best of {len(args.runs)} run(s))"
+    )
+    if ok:
+        print(_render(ok, "ok"))
+    for name in fresh:
+        print(f"  ?? {name}: no baseline entry (skipped)")
+    for name in missing:
+        print(f"  -- {name}: not in this run (skipped)")
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) regressed beyond tolerance:")
+        print(_render(regressions, "!!"))
+        return 1
+    print("no benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `compare.py ... | head`
+        sys.exit(141)

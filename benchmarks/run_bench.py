@@ -29,6 +29,12 @@ def main(argv=None) -> int:
         choices=("tiny", "small", "medium"),
         help="dataset preset to benchmark against",
     )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="benchmark JSON path (default BENCH_<preset>.json at the "
+        "repo root); the perf gate writes per-run files here",
+    )
     args, pytest_args = parser.parse_known_args(argv)
 
     env = dict(os.environ)
@@ -39,13 +45,16 @@ def main(argv=None) -> int:
         if env.get("PYTHONPATH")
         else src
     )
+    output = Path(args.output) if args.output else (
+        ROOT / f"BENCH_{args.preset}.json"
+    )
     command = [
         sys.executable,
         "-m",
         "pytest",
         "benchmarks",
         "-q",
-        f"--benchmark-json={ROOT / f'BENCH_{args.preset}.json'}",
+        f"--benchmark-json={output}",
         *pytest_args,
     ]
     print("+", " ".join(command), flush=True)

@@ -32,6 +32,7 @@ __all__ = [
     "RoutingTable",
     "interval_membership",
     "count_in_intervals",
+    "coalesce_intervals",
     "ip_to_int",
     "int_to_ip",
 ]
@@ -63,6 +64,27 @@ def count_in_intervals(starts, ends, values) -> np.ndarray:
     lo = np.searchsorted(values, starts, side="left")
     hi = np.searchsorted(values, ends, side="left")
     return hi - lo
+
+
+def coalesce_intervals(starts, ends):
+    """Merge overlapping/adjacent ``[start, end)`` runs into a minimal cover.
+
+    ``starts`` must be sorted ascending (intervals may nest, overlap,
+    or abut).  The result covers exactly the same addresses with the
+    fewest intervals — dense interval sets (e.g. a selection of many
+    adjacent prefixes) shrink to a handful of runs, which shrinks every
+    downstream ``searchsorted`` table.  Returns ``(starts, ends)``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    if len(starts) <= 1:
+        return starts, ends
+    reach = np.maximum.accumulate(ends)
+    fresh = np.empty(len(starts), dtype=bool)
+    fresh[0] = True
+    np.greater(starts[1:], reach[:-1], out=fresh[1:])
+    run = np.flatnonzero(fresh)
+    return starts[fresh], np.maximum.reduceat(reach, run)
 
 
 def ip_to_int(dotted: str) -> int:
@@ -119,7 +141,16 @@ class Partition:
     two-``searchsorted`` interval-counting pass.
     """
 
-    __slots__ = ("starts", "ends", "count_backend", "_prefixes", "__dict__")
+    # __weakref__ lets the COUNT_CACHE key entries on partitions
+    # without extending their lifetime.
+    __slots__ = (
+        "starts",
+        "ends",
+        "count_backend",
+        "_prefixes",
+        "__dict__",
+        "__weakref__",
+    )
 
     def __init__(self, starts, ends, prefixes=None, count_backend=None):
         self.starts = np.asarray(starts, dtype=np.int64)
@@ -186,12 +217,17 @@ class Partition:
         pass; ``backend`` (or the partition's ``count_backend``, or
         ``$REPRO_COUNT_BACKEND``) selects any backend registered in
         :mod:`repro.bgp.backends` instead.
+
+        Counts over immutable snapshot arrays are memoized in the
+        process-wide :data:`~repro.bgp.backends.COUNT_CACHE`, so every
+        wave/strategy sharing a snapshot shares one counting pass; the
+        returned array is read-only and must not be mutated.
         """
         # Imported lazily: backends imports this module at load time.
-        from repro.bgp.backends import count_with_backend
+        from repro.bgp.backends import COUNT_CACHE
 
         backend = backend if backend is not None else self.count_backend
-        return count_with_backend(self.starts, self.ends, values, backend)
+        return COUNT_CACHE.counts(self, values, backend)
 
     def index_of(self, values: np.ndarray) -> np.ndarray:
         """Covering-interval index per address (-1 when uncovered)."""

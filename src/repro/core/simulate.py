@@ -6,6 +6,12 @@ hitrate — responsive addresses inside the selection over all responsive
 addresses — is computed with the same two-``searchsorted`` interval
 pass as everything else; no probe-level loop is needed to account a
 simulated campaign.
+
+Counting goes through ``Selection.count_in`` and therefore the
+process-wide :data:`~repro.bgp.backends.COUNT_CACHE`: when several
+campaigns (or strategies, or the reseeding sweep) replay the same
+snapshot series, each snapshot is counted once and every later replay
+reduces to a fancy-index sum over the cached per-partition counts.
 """
 
 from __future__ import annotations

@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
+# Module-level on purpose: count_in sits inside per-wave hot loops and
+# must not pay an import-machinery lookup per call.
+from repro.bgp.backends import COUNT_CACHE, count_with_backend
 from repro.bgp.table import (
     LESS_SPECIFIC,
     Partition,
     RoutingTable,
+    coalesce_intervals,
     interval_membership,
 )
 
@@ -33,6 +37,7 @@ class Selection:
         "covered_hosts",
         "total_hosts",
         "phi",
+        "_coalesced",
     )
 
     def __init__(self, partition, indices, covered_hosts, total_hosts, phi):
@@ -44,6 +49,7 @@ class Selection:
         self.covered_hosts = int(covered_hosts)
         self.total_hosts = int(total_hosts)
         self.phi = phi
+        self._coalesced = None
 
     def __len__(self) -> int:
         return int(self.indices.shape[0])
@@ -72,24 +78,45 @@ class Selection:
         """Fraction of responsive addresses covered at selection time."""
         return self.covered_hosts / self.total_hosts if self.total_hosts else 0.0
 
+    def coalesced(self):
+        """The selection's intervals with adjacent runs merged.
+
+        A dense selection (many neighbouring prefixes) collapses to far
+        fewer ``[start, end)`` runs; every membership/count pass over
+        the coalesced table does the same work on a smaller table.
+        Computed once, cached for the life of the selection.
+        """
+        if self._coalesced is None:
+            self._coalesced = coalesce_intervals(self.starts, self.ends)
+        return self._coalesced
+
     def count_in(self, values: np.ndarray, backend=None) -> int:
         """How many of a sorted address array fall inside the selection.
 
         ``backend`` (or the partition's ``count_backend``, or
         ``$REPRO_COUNT_BACKEND``) selects a registered counting
         backend; the default is the two-``searchsorted`` pass.
-        """
-        from repro.bgp.backends import count_with_backend
 
+        Immutable snapshot arrays hit the process-wide
+        :data:`~repro.bgp.backends.COUNT_CACHE`: the full-partition
+        counts are computed once per snapshot and this call reduces to
+        a fancy-index sum, so repeated waves/strategies over the same
+        snapshot never recount it.  (The selection's intervals are by
+        construction a subset of the partition's disjoint intervals, so
+        the subset sum equals a direct count under every backend.)
+        """
         if backend is None:
             backend = getattr(self.partition, "count_backend", None)
-        return int(
-            count_with_backend(self.starts, self.ends, values, backend).sum()
-        )
+        if not callable(backend) and COUNT_CACHE.cacheable(values):
+            counts = COUNT_CACHE.counts(self.partition, values, backend)
+            return int(counts[self.indices].sum())
+        starts, ends = self.coalesced()
+        return int(count_with_backend(starts, ends, values, backend).sum())
 
     def membership(self, values: np.ndarray) -> np.ndarray:
         """Boolean mask over ``values``: inside the selection or not."""
-        return interval_membership(self.starts, self.ends, values)
+        starts, ends = self.coalesced()
+        return interval_membership(starts, ends, values)
 
 
 def select_by_density(

@@ -16,6 +16,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+# Module-level on purpose: this feeds per-wave hot loops, which must
+# not pay an import-machinery lookup per wave.
+from repro.bgp.backends import COUNT_CACHE
+
 __all__ = [
     "RESEED_MODES",
     "ReseedPolicy",
@@ -145,19 +149,27 @@ def sample_complement(rng, partition, selected, n):
         return np.empty(0, dtype=np.int64), unselected
     bounds = np.cumsum(sizes)
     draws = rng.integers(0, total, size=n)
+    # Sorting the draws makes the searchsorted below branch-predictable
+    # (several times faster on large budgets) and the flat-space ->
+    # address map is monotone, so the probes come out sorted too —
+    # which is what lets explore_unselected test membership cheaply.
+    # The draw multiset (and thus every downstream count) is unchanged.
+    draws.sort()
     slot = np.searchsorted(bounds, draws, side="right")
     offset = draws - (bounds[slot] - sizes[slot])
     return partition.starts[unselected[slot]] + offset, unselected
 
 
 def selection_stats(partition, selected, values, backend=None):
-    """(responsive addresses found, probe cost) of a masked selection."""
-    from repro.bgp.backends import count_with_backend
+    """(responsive addresses found, probe cost) of a masked selection.
 
-    starts = partition.starts[selected]
-    ends = partition.ends[selected]
-    found = count_with_backend(starts, ends, values, backend).sum()
-    return int(found), int((ends - starts).sum())
+    Counts via the full-partition pass so immutable snapshot arrays
+    hit :data:`~repro.bgp.backends.COUNT_CACHE` — every masked query
+    against the same snapshot (static vs adaptive, wave after wave)
+    reduces to a masked sum over one shared counting pass.
+    """
+    found = COUNT_CACHE.counts(partition, values, backend)[selected].sum()
+    return int(found), int(partition.sizes[selected].sum())
 
 
 def explore_unselected(rng, partition, selected, values, n):
@@ -173,8 +185,12 @@ def explore_unselected(rng, partition, selected, values, n):
     empty = np.empty(0, dtype=np.int64)
     if probes.size == 0 or len(values) == 0:
         return probes, empty, empty
-    idx = np.searchsorted(values, probes).clip(max=len(values) - 1)
-    hits = np.unique(probes[values[idx] == probes])
+    # probes come out of sample_complement sorted, so the cheap
+    # direction is to look each (sorted, unique) responsive address up
+    # in the probe array: sorted needles into a sorted haystack.  The
+    # survivors are exactly the unique responsive probe hits.
+    idx = np.searchsorted(probes, values).clip(max=len(probes) - 1)
+    hits = values[probes[idx] == values]
     if hits.size == 0:
         return probes, hits, empty
     parts = np.unique(partition.index_of(hits))

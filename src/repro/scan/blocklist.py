@@ -8,7 +8,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bgp.table import Prefix, interval_membership, ip_to_int
+from repro.bgp.table import (
+    Prefix,
+    coalesce_intervals,
+    interval_membership,
+    ip_to_int,
+)
 
 __all__ = ["Blocklist", "default_blocklist", "RESERVED_CIDRS"]
 
@@ -39,19 +44,11 @@ class Blocklist:
         starts = np.asarray(starts, dtype=np.int64)
         ends = np.asarray(ends, dtype=np.int64)
         order = np.argsort(starts, kind="stable")
-        starts, ends = starts[order], ends[order]
-        if len(starts):
-            # Real-world blocklists routinely contain nested/overlapping
-            # CIDRs; coalesce them so the searchsorted mask stays exact.
-            reach = np.maximum.accumulate(ends)
-            fresh = np.empty(len(starts), dtype=bool)
-            fresh[0] = True
-            fresh[1:] = starts[1:] > reach[:-1]
-            run = np.flatnonzero(fresh)
-            starts = starts[fresh]
-            ends = np.maximum.reduceat(reach, run)
-        self.starts = starts
-        self.ends = ends
+        # Real-world blocklists routinely contain nested/overlapping
+        # CIDRs; coalesce them so the searchsorted mask stays exact.
+        self.starts, self.ends = coalesce_intervals(
+            starts[order], ends[order]
+        )
 
     @classmethod
     def from_cidrs(cls, cidrs) -> "Blocklist":

@@ -1,9 +1,12 @@
 """The batched scan engine: probe generation, filtering, classification.
 
 This is the zmap-class simulator core: it drains a target stream in
-fixed-size batches, drops blocklisted probes with one vectorized mask,
-and classifies the remainder against the responsive-address set with a
-single ``searchsorted`` membership pass per batch.
+fixed-size batches and classifies every probe in one fused pass per
+batch: each batch is brought into sorted order once (streams that
+already yield sorted batches, like the sharded interval walk, skip
+even that), then the blocklist mask and the responsive-membership test
+run as branch-predictable sorted ``searchsorted`` passes with no
+intermediate filtered copy of the batch.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bgp.table import interval_membership
 from repro.census.addrset import AddressSet
 
 __all__ = ["EngineConfig", "ScanResult", "ScanEngine"]
@@ -39,6 +43,21 @@ class ScanResult:
         return self.responses / self.probes_sent if self.probes_sent else 0.0
 
 
+def _responsive_values(responsive) -> np.ndarray:
+    """The sorted unique int64 address array behind any truth spec.
+
+    Accepts an :class:`AddressSet` or a raw array.  A raw array that is
+    already sorted and duplicate-free is used as-is — no AddressSet
+    re-wrap (and no ``np.unique`` re-sort) per call.
+    """
+    if isinstance(responsive, AddressSet):
+        return responsive.values
+    arr = np.asarray(responsive, dtype=np.int64)
+    if arr.ndim == 1 and (arr.size < 2 or bool((arr[1:] > arr[:-1]).all())):
+        return arr
+    return AddressSet(arr).values
+
+
 class ScanEngine:
     """Batched probe engine with blocklist filtering."""
 
@@ -50,22 +69,73 @@ class ScanEngine:
         """Scan a target stream against a responsive-address set.
 
         ``targets`` must provide ``batches(batch_size)`` yielding int64
-        address arrays; ``responsive`` is an :class:`AddressSet` (or a
-        sorted array) defining which probes elicit a response.
+        address arrays; ``responsive`` is an :class:`AddressSet` or a
+        plain address array (pre-sorted duplicate-free arrays are used
+        directly) defining which probes elicit a response.
         """
-        if isinstance(responsive, AddressSet):
-            truth = responsive
-        else:
-            truth = AddressSet(responsive)
+        truth = _responsive_values(responsive)
+        n_truth = len(truth)
         result = ScanResult(protocol=protocol)
         blocklist = self.blocklist
         for batch in targets.batches(self.config.batch_size):
-            if blocklist is not None:
-                mask = blocklist.allowed_mask(batch)
-                if not mask.all():
-                    result.blocked += int(batch.size - mask.sum())
-                    batch = batch[mask]
-            result.probes_sent += int(batch.size)
-            result.responses += int(truth.membership(batch).sum())
+            size = int(batch.size)
             result.batches += 1
+            if size == 0:
+                continue
+            # Probe order within a batch never changes any counter, so
+            # sort once and every searchsorted below runs over sorted
+            # needles — several times faster than random-order lookups.
+            if size > 1 and not bool((batch[1:] >= batch[:-1]).all()):
+                batch = np.sort(batch)
+            lo, hi = int(batch[0]), int(batch[-1])
+            # Blocklist fast path: two scalar lookups decide whether the
+            # batch's [lo, hi] span touches any blocked range at all;
+            # target streams stay inside announced space, so the full
+            # per-probe mask is almost always skipped.
+            blocked = None
+            if blocklist is not None:
+                b_lo = int(np.searchsorted(blocklist.starts, lo, side="right"))
+                b_hi = int(np.searchsorted(blocklist.starts, hi, side="right"))
+                if b_lo != b_hi or (
+                    b_lo > 0 and lo < blocklist.ends[b_lo - 1]
+                ):
+                    blocked = interval_membership(
+                        blocklist.starts, blocklist.ends, batch
+                    )
+                    n_blocked = int(blocked.sum())
+                    if n_blocked:
+                        result.blocked += n_blocked
+                        size -= n_blocked
+                    else:
+                        blocked = None
+            result.probes_sent += size
+            if n_truth == 0:
+                continue
+            # Only the truth addresses inside the batch's span can
+            # match; the slice is usually far smaller than the batch.
+            t_lo = int(np.searchsorted(truth, lo))
+            t_hi = int(np.searchsorted(truth, hi, side="right"))
+            sliver = truth[t_lo:t_hi]
+            if sliver.size == 0:
+                continue
+            if blocked is None and sliver.size <= batch.size >> 3:
+                # Sparse truth: probe it into the batch instead — far
+                # fewer needles.  The insertion-point difference counts
+                # every occurrence, so duplicate probes of the same
+                # responsive address each score a response, exactly as
+                # the per-probe direction below would count them.
+                span = np.searchsorted(batch, sliver, side="right")
+                span -= np.searchsorted(batch, sliver, side="left")
+                result.responses += int(span.sum())
+            else:
+                idx = np.searchsorted(sliver, batch)
+                np.minimum(idx, sliver.size - 1, out=idx)
+                hit = sliver[idx] == batch
+                if blocked is not None:
+                    # A blocked probe is never sent, so it can never
+                    # respond: fold the mask in place of filtering the
+                    # batch down to an allowed copy.
+                    np.logical_not(blocked, out=blocked)
+                    np.logical_and(hit, blocked, out=hit)
+                result.responses += int(hit.sum())
         return result

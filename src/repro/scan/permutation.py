@@ -8,9 +8,11 @@ once; values above ``n`` are skipped and the rest are shifted down to
 ``0..n-1``.
 
 Batches are produced array-at-a-time: the powers ``g^0..g^{B-1}`` are
-built once by vectorized doubling, and every batch is a single modular
-multiply of that table by the cursor element — no Python-level loop per
-address.
+built once per ``(prime, generator, size)`` — and memoized across
+walks, resumes, and shard workers — and every batch is a single modular
+multiply of that table by the cursor element into a preallocated
+buffer; no Python-level loop per address, no per-batch allocation
+beyond the yielded array itself.
 """
 
 from __future__ import annotations
@@ -78,16 +80,51 @@ def _group_params(n: int) -> tuple[int, int]:
     return p, g
 
 
-def _mulmod(values: np.ndarray, scalar: int, p: int) -> np.ndarray:
-    """``values * scalar % p`` without int64 overflow, vectorized."""
+def _mulmod(values, scalar: int, p: int, out=None, tmp=None):
+    """``values * scalar % p`` without int64 overflow, vectorized.
+
+    ``out`` (and, on the big-modulus path, ``tmp``) are optional
+    preallocated result/scratch buffers of the same shape as
+    ``values``; ``values`` itself is never written.  Returns ``out``.
+    """
+    if out is None:
+        out = np.empty_like(values)
     if p <= _INT64_SAFE_MOD:
-        return values * scalar % p
+        np.multiply(values, scalar, out=out)
+        out %= p
+        return out
     # Split the scalar into 16-bit halves so partial products stay < 2^49.
     hi, lo = divmod(scalar % p, 1 << 16)
-    out = (values * hi % p) << 16
-    out += values * lo
+    np.multiply(values, hi, out=out)
+    out %= p
+    out <<= 16
+    if tmp is None:
+        tmp = np.empty_like(values)
+    np.multiply(values, lo, out=tmp)
+    out += tmp
     out %= p
     return out
+
+
+@lru_cache(maxsize=128)
+def _power_table(p: int, g: int, m: int) -> np.ndarray:
+    """Read-only ``[g^0, g^1, ..., g^{m-1}] mod p`` by vectorized doubling.
+
+    Memoized per ``(prime, generator, size)``: every ``batches()`` call
+    over the same walk — each campaign resume, each of K shard workers
+    draining the same shard geometry — reuses one table instead of
+    rebuilding it by repeated concatenation.
+    """
+    table = np.empty(m, dtype=np.int64)
+    table[0] = 1
+    filled = 1
+    while filled < m:
+        span = min(filled, m - filled)
+        scalar = int(table[filled - 1]) * g % p  # g^filled
+        _mulmod(table[:span], scalar, p, out=table[filled:filled + span])
+        filled += span
+    table.setflags(write=False)
+    return table
 
 
 class CyclicPermutation:
@@ -133,8 +170,11 @@ class CyclicPermutation:
         return PermutationShard(self, index, count)
 
     def __iter__(self):
+        # Yield straight from the int64 batch arrays: no per-batch
+        # list materialisation, constant memory, lazy under early exit
+        # (see bench_scan_engine.py::test_iter_* for the trade-off).
         for batch in self.batches():
-            yield from batch.tolist()
+            yield from batch
 
 
 class PermutationShard:
@@ -154,30 +194,44 @@ class PermutationShard:
         # Group positions j in [0, p-1) with j == index (mod count).
         self._total = max(0, -(-(p - 1 - index) // count))
 
-    def _powers(self, m: int) -> np.ndarray:
-        """``[g^0, g^1, ..., g^{m-1}] mod p`` by vectorized doubling."""
-        p, g = self.prime, self._gen
-        table = np.ones(1, dtype=np.int64)
-        while len(table) < m:
-            scalar = int(table[-1]) * g % p
-            table = np.concatenate([table, _mulmod(table, scalar, p)])
-        return table[:m]
-
     def batches(self, batch_size: int = 1 << 16):
-        """Yield int64 arrays covering this shard's slice of 0..n-1."""
+        """Yield int64 arrays covering this shard's slice of 0..n-1.
+
+        Every yielded array is freshly allocated (callers may keep or
+        mutate it); the modular walk itself runs in two reused scratch
+        buffers, one multiply per batch.
+        """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         p, n = self.prime, self.n
         total = self._total  # group elements to walk
-        powers = self._powers(min(batch_size, total))
-        step = pow(self._gen, len(powers), p)
+        if total == 0:
+            return
+        m = min(batch_size, total)
+        powers = _power_table(p, self._gen, m)
+        step = pow(self._gen, m, p)
         cursor = self._start
         walked = 0
+        buf = np.empty(m, dtype=np.int64)
+        tmp = np.empty(m, dtype=np.int64) if p > _INT64_SAFE_MOD else None
+        # When p - 1 == n every group element 1..p-1 maps to a target,
+        # so the `values <= n` filter pass is pure overhead — skip it.
+        dense = p - 1 == n
         while walked < total:
-            m = min(len(powers), total - walked)
-            values = _mulmod(powers[:m], cursor, p)
+            k = min(m, total - walked)
+            values = _mulmod(
+                powers[:k],
+                cursor,
+                p,
+                out=buf[:k],
+                tmp=None if tmp is None else tmp[:k],
+            )
             cursor = cursor * step % p
-            walked += m
-            values = values[values <= n]
-            if values.size:
+            walked += k
+            if dense:
                 yield values - 1
+            else:
+                kept = values[values <= n]
+                if kept.size:
+                    kept -= 1
+                    yield kept

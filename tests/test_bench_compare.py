@@ -1,0 +1,84 @@
+"""The perf-regression gate: benchmarks/compare.py semantics.
+
+The gate must demonstrably fail on an injected 30% slowdown at the
+default 25% tolerance, pass inside tolerance, and absorb one noisy run
+via best-of-N candidate selection.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+COMPARE = ROOT / "benchmarks" / "compare.py"
+
+
+def _bench_json(path: Path, means: dict) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+    return path
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, str(COMPARE), *map(str, args)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_injected_30pct_slowdown_fails_the_gate(tmp_path):
+    base = _bench_json(
+        tmp_path / "base.json", {"bench::a": 0.100, "bench::b": 0.200}
+    )
+    slow = _bench_json(
+        tmp_path / "slow.json", {"bench::a": 0.130, "bench::b": 0.190}
+    )
+    proc = _run(slow, "--against", base, "--tolerance", "0.25")
+    assert proc.returncode == 1
+    assert "bench::a" in proc.stdout
+    assert "regressed" in proc.stdout
+
+
+def test_within_tolerance_passes(tmp_path):
+    base = _bench_json(tmp_path / "base.json", {"bench::a": 0.100})
+    run = _bench_json(tmp_path / "run.json", {"bench::a": 0.120})
+    proc = _run(run, "--against", base, "--tolerance", "0.25")
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_best_of_two_absorbs_one_noisy_run(tmp_path):
+    base = _bench_json(tmp_path / "base.json", {"bench::a": 0.100})
+    noisy = _bench_json(tmp_path / "noisy.json", {"bench::a": 0.500})
+    clean = _bench_json(tmp_path / "clean.json", {"bench::a": 0.105})
+    assert _run(noisy, "--against", base).returncode == 1
+    assert _run(noisy, clean, "--against", base).returncode == 0
+
+
+def test_unmatched_benchmarks_never_fail_the_gate(tmp_path):
+    base = _bench_json(tmp_path / "base.json", {"bench::gone": 0.1})
+    run = _bench_json(tmp_path / "run.json", {"bench::new": 9.9})
+    proc = _run(run, "--against", base)
+    assert proc.returncode == 0
+    assert "no baseline entry" in proc.stdout
+    assert "not in this run" in proc.stdout
+
+
+def test_gate_against_committed_baseline_format():
+    """compare.py parses the real committed BENCH_small.json."""
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    try:
+        from compare import load_means
+    finally:
+        sys.path.pop(0)
+    means = load_means(ROOT / "BENCH_small.json")
+    assert means and all(m >= 0 for m in means.values())

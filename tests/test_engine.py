@@ -91,3 +91,46 @@ def test_engine_accepts_raw_arrays_as_responsive():
     )
     assert result.responses == 3
     assert result.hitrate == pytest.approx(0.3)
+
+
+def test_fused_engine_matches_filter_then_membership_reference():
+    """Differential: the fused sorted pass == the naive filter+membership.
+
+    The engine sorts batches, short-circuits untouched blocklist spans,
+    and flips membership direction when the truth sliver is sparse —
+    every one of those shortcuts must reproduce the reference
+    semantics (drop blocked probes, then count responsive members)
+    exactly, across randomized targets/truth/blocklists/batch sizes.
+    """
+    rng = np.random.default_rng(12)
+    for trial in range(60):
+        space = int(rng.integers(100, 5000))
+        n = int(rng.integers(1, space))
+        # Odd trials draw with replacement: duplicate probes of one
+        # responsive address must each count as a response.
+        targets = rng.choice(
+            space, size=n, replace=bool(trial % 2)
+        ).astype(np.int64)
+        truth = AddressSet(
+            rng.choice(
+                space, size=int(rng.integers(0, space)), replace=False
+            )
+        )
+        n_blocks = int(rng.integers(0, 4))
+        block_starts = rng.integers(0, space, size=n_blocks)
+        block_ends = block_starts + rng.integers(1, 200, size=n_blocks)
+        blocklist = (
+            Blocklist(block_starts, block_ends) if n_blocks else None
+        )
+        batch_size = int(rng.integers(1, 300))
+        engine = ScanEngine(EngineConfig(batch_size=batch_size), blocklist)
+        got = engine.run(_ListTargets([targets]), truth)
+
+        allowed = (
+            targets
+            if blocklist is None
+            else targets[blocklist.allowed_mask(targets)]
+        )
+        assert got.probes_sent == len(allowed), trial
+        assert got.blocked == len(targets) - len(allowed), trial
+        assert got.responses == int(truth.membership(allowed).sum()), trial

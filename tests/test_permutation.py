@@ -1,9 +1,11 @@
 """Unit tests for the cyclic-group permutation (no dataset fixture)."""
 
 import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
 import pytest
 
-from repro.scan.permutation import CyclicPermutation
+from repro.scan.permutation import CyclicPermutation, _mulmod
 
 
 @pytest.mark.parametrize("n", [1, 2, 3, 5, 16, 97, 100, 1000, 1 << 12])
@@ -42,3 +44,87 @@ def test_deterministic_for_fixed_seed():
 def test_order_is_not_sequential():
     values = np.concatenate(list(CyclicPermutation(4096, seed=5).batches()))
     assert not np.array_equal(values, np.arange(4096))
+
+
+def test_iter_yields_every_element_without_lists():
+    perm = CyclicPermutation(300, seed=4)
+    seen = list(perm)
+    assert sorted(int(v) for v in seen) == list(range(300))
+    assert np.array_equal(
+        np.asarray(seen), np.concatenate(list(perm.batches()))
+    )
+
+
+def test_batches_are_independent_arrays():
+    # The walk may reuse scratch buffers internally, but every yielded
+    # batch must be a fresh array a caller can keep or mutate.
+    perm = CyclicPermutation(1000, seed=2)
+    batches = list(perm.batches(64))
+    frozen = [b.copy() for b in batches]
+    batches[0][:] = -1
+    for later, kept in zip(batches[1:], frozen[1:]):
+        assert np.array_equal(later, kept)
+
+
+# ---------------------------------------------------------------------------
+# Big-modulus (p > 2^31) arithmetic: the 16-bit-split _mulmod path
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=(1 << 33) - 1),
+        min_size=1,
+        max_size=50,
+    ),
+    st.integers(min_value=0, max_value=(1 << 33) - 1),
+    st.integers(min_value=(1 << 31) + 1, max_value=(1 << 33) - 1),
+)
+def test_mulmod_big_modulus_matches_python_bigint(values, scalar, p):
+    arr = np.asarray([v % p for v in values], dtype=np.int64)
+    got = _mulmod(arr, scalar, p)
+    expected = [v % p * scalar % p for v in values]
+    assert got.tolist() == expected
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=(1 << 33) - 1),
+        min_size=1,
+        max_size=50,
+    ),
+    st.integers(min_value=0, max_value=(1 << 33) - 1),
+    st.integers(min_value=(1 << 31) + 1, max_value=(1 << 33) - 1),
+)
+def test_mulmod_big_modulus_out_buffers_match(values, scalar, p):
+    arr = np.asarray([v % p for v in values], dtype=np.int64)
+    out = np.empty_like(arr)
+    tmp = np.empty_like(arr)
+    got = _mulmod(arr, scalar, p, out=out, tmp=tmp)
+    assert got is out
+    assert out.tolist() == _mulmod(arr, scalar, p).tolist()
+
+
+def test_permutation_beyond_int32_space():
+    """End-to-end walk sampling over n > 2^31 (the big-modulus regime)."""
+    n = (1 << 31) + 1000
+    perm = CyclicPermutation(n, seed=7)
+    assert perm.prime > 1 << 31
+    p, g, start = perm.prime, perm._gen, perm._start
+
+    sampled = []
+    for batch in perm.batches(1 << 12):
+        sampled.append(batch)
+        if len(sampled) == 4:
+            break
+    sampled = np.concatenate(sampled)
+    assert np.all(sampled >= 0) and np.all(sampled < n)
+    assert len(np.unique(sampled)) == len(sampled)  # no repeats
+
+    # Cross-check against the obviously-correct Python big-int walk.
+    expected, element = [], start
+    while len(expected) < len(sampled):
+        if element <= n:
+            expected.append(element - 1)
+        element = element * g % p
+    assert sampled.tolist() == expected
