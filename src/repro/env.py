@@ -10,9 +10,13 @@ cryptic failure deep inside a hot loop.
 Knobs:
 
 - ``REPRO_SCAN_SHARDS``   — positive shard count for sharded scans;
-- ``REPRO_SCAN_EXECUTOR`` — ``serial`` or ``process``;
+- ``REPRO_SCAN_EXECUTOR`` — an executor registered in
+  :mod:`repro.scan.executors` (``serial``, ``process``,
+  ``distributed``, or anything registered on top);
 - ``REPRO_COUNT_BACKEND`` — a counting backend registered in
-  :mod:`repro.bgp.backends`.
+  :mod:`repro.bgp.backends`;
+- ``REPRO_DIST_WORKERS``  — worker-process count for the
+  ``distributed`` executor (default: one per shard, CPU-capped).
 """
 
 from __future__ import annotations
@@ -23,18 +27,35 @@ __all__ = [
     "ENV_SCAN_SHARDS",
     "ENV_SCAN_EXECUTOR",
     "ENV_COUNT_BACKEND",
+    "ENV_DIST_WORKERS",
     "EXECUTORS",
     "scan_shards",
     "scan_executor",
     "count_backend",
+    "dist_workers",
 ]
 
 ENV_SCAN_SHARDS = "REPRO_SCAN_SHARDS"
 ENV_SCAN_EXECUTOR = "REPRO_SCAN_EXECUTOR"
 ENV_COUNT_BACKEND = "REPRO_COUNT_BACKEND"
+ENV_DIST_WORKERS = "REPRO_DIST_WORKERS"
 
-#: The executors ``run_sharded`` knows how to drive.
-EXECUTORS = ("serial", "process")
+
+def _executor_choices() -> tuple[str, ...]:
+    # Imported lazily: the executor registry lives in the scan layer,
+    # which itself imports this module for the other knobs.
+    from repro.scan.executors import available_executors
+
+    return tuple(available_executors())
+
+
+def __getattr__(name: str):
+    # ``EXECUTORS`` is registry-backed: reading it always reflects the
+    # live executor registry (including anything registered at runtime)
+    # instead of a tuple frozen at import.
+    if name == "EXECUTORS":
+        return _executor_choices()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _resolve(explicit, env_var, default):
@@ -72,15 +93,41 @@ def scan_shards(explicit=None) -> int:
 
 
 def scan_executor(explicit=None) -> str:
-    """The validated scan executor name (``serial`` or ``process``)."""
+    """The validated scan executor name, against the live registry."""
     raw, source = _resolve(explicit, ENV_SCAN_EXECUTOR, "serial")
-    if raw not in EXECUTORS:
-        choices = ", ".join(repr(e) for e in EXECUTORS)
+    executors = _executor_choices()
+    if raw not in executors:
+        choices = ", ".join(repr(e) for e in executors)
         raise ValueError(
             f"unknown executor {raw!r} (from {source}); "
             f"choose one of {choices}"
         )
     return raw
+
+
+def dist_workers(explicit=None) -> int | None:
+    """The validated distributed worker count, or ``None`` for auto.
+
+    ``explicit`` wins over ``$REPRO_DIST_WORKERS``; with neither set
+    the distributed executor sizes itself (one worker per shard,
+    capped at the CPU count).
+    """
+    raw, source = _resolve(explicit, ENV_DIST_WORKERS, None)
+    if raw is None:
+        return None
+    try:
+        value = int(str(raw).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"distributed workers must be a positive integer, got "
+            f"{raw!r} (from {source})"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"distributed workers must be >= 1, got {value} "
+            f"(from {source})"
+        )
+    return value
 
 
 def count_backend(explicit=None) -> str:

@@ -39,6 +39,7 @@ from repro.orchestrator.waves import (
 )
 from repro.scan.blocklist import default_blocklist
 from repro.scan.engine import EngineConfig, ScanResult
+from repro.scan.executors import executor_supports_wrap
 from repro.scan.sharded import run_sharded
 
 __all__ = [
@@ -110,7 +111,9 @@ class CampaignSpec:
         environment still replays the original campaign exactly.
         """
         executor = scan_executor(self.executor)
-        if self.probes_per_sec is not None and executor == "process":
+        if self.probes_per_sec is not None and not executor_supports_wrap(
+            executor
+        ):
             raise ValueError(
                 "pacing (probes_per_sec) requires the serial executor: "
                 "a token bucket cannot be shared across worker processes"

@@ -3,20 +3,32 @@
 A checkpoint is one compressed ``.npz`` holding the JSON manifest (the
 campaign position, accounting, and RNG state) alongside the state
 arrays (the live selection mask).  Writing a *single* file via
-write-tmp-then-rename makes every save atomic: a kill at any instant
-leaves either the previous checkpoint or the new one, never a manifest
-that disagrees with its arrays — which is what makes shard boundaries
+write-tmp-fsync-then-rename (plus a directory fsync after the rename)
+makes every save atomic *and durable*: a kill — or a power loss — at
+any instant leaves either the previous checkpoint or the new one,
+never a manifest that disagrees with its arrays and never a truncated
+file behind a completed rename — which is what makes shard boundaries
 safe resume points.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 
 __all__ = ["CHECKPOINT_VERSION", "CheckpointStore"]
+
+
+def _fsync_path(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 #: Bump when the manifest/array schema changes shape.
 CHECKPOINT_VERSION = 1
@@ -40,6 +52,13 @@ class CheckpointStore:
     def __init__(self, directory):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # A kill mid-write leaves an orphaned tmp file next to the real
+        # one; it is never a valid resume source (the rename that would
+        # have promoted it never happened), so sweep strays on open.
+        for stray in self.directory.glob("*.tmp"):
+            stray.unlink(missing_ok=True)
+        for stray in self.directory.glob("*.tmp.npz"):
+            stray.unlink(missing_ok=True)
 
     # -- paths ---------------------------------------------------------
 
@@ -88,7 +107,14 @@ class CheckpointStore:
         tmp = self.checkpoint_path.with_suffix(".tmp.npz")
         with open(tmp, "wb") as fh:
             np.savez_compressed(fh, **payload)
+            # "Atomic" rename without durability is not atomic under
+            # power loss: the rename can hit disk before the data does,
+            # surfacing a truncated checkpoint.  fsync the file before
+            # the rename and the directory after it.
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(self.checkpoint_path)
+        _fsync_path(self.directory)
 
     def load(self) -> tuple[dict, dict]:
         """Load the latest checkpoint as ``(manifest, arrays)``."""
@@ -124,7 +150,9 @@ class CheckpointStore:
     @staticmethod
     def _write_json(path: Path, document: dict) -> None:
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(document, indent=2, sort_keys=True) + "\n"
-        )
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(path)
+        _fsync_path(path.parent)

@@ -66,7 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument("--explore-frac", type=float, default=0.0)
     plan.add_argument("--shards", default=None)
-    plan.add_argument("--executor", default=None)
+    plan.add_argument(
+        "--executor",
+        default=None,
+        help="registered shard executor: serial, process, or "
+        "distributed (coordinator + socket workers; worker count via "
+        "REPRO_DIST_WORKERS)",
+    )
     plan.add_argument("--backend", default=None)
     plan.add_argument("--batch-size", type=int, default=1 << 16)
     plan.add_argument("--probe-budget", type=int, default=None)

@@ -58,8 +58,18 @@ class TokenBucket:
             waited = (n - self._tokens) / self.rate
             self._sleep(waited)
             self.slept += waited
-            self._last = self._clock()
-            self._tokens = 0.0
+            # Credit the time that actually elapsed rather than zeroing
+            # the bucket: a sleep that overshoots the requested wait
+            # accrued real tokens, and discarding them drags long paced
+            # waves below the configured rate.  The balance is consumed
+            # from the true accrual (so oversized requests are never
+            # double-charged) and only the *leftover* is capped at the
+            # burst capacity; an undershooting sleep leaves a small
+            # deficit the next throttle waits out.
+            now = self._clock()
+            accrued = self._tokens + (now - self._last) * self.rate
+            self._tokens = min(accrued - n, self.capacity)
+            self._last = now
         else:
             self._tokens -= n
         self.consumed += int(n)

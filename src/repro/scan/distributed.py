@@ -1,0 +1,610 @@
+"""Distributed shard execution: a coordinator driving socket workers.
+
+This is the multi-node seam: the coordinator serializes
+:class:`~repro.scan.sharded.IntervalTargets` shard descriptions onto a
+work queue and drives ``N`` workers over a small wire protocol —
+length-prefixed JSON frames over TCP, with ``int64`` arrays carried as
+base64 ``tobytes`` payloads.  The workers here are local child
+processes (``python -m repro.scan.distributed --connect HOST:PORT``),
+but nothing in the protocol is process-local: a worker on another
+machine speaking the same five message types would slot straight in.
+
+Protocol (all frames are ``>I``-length-prefixed UTF-8 JSON):
+
+- ``hello``    worker → coordinator: ``{"type": "hello", "pid": ...}``
+- ``init``     coordinator → worker: responsive set, blocklist, engine
+  batch size, protocol, and the shared shard geometry
+  (``starts``/``ends``/``seed``/``shards``) — sent once per worker.
+- ``shard``    coordinator → worker: ``{"type": "shard", "shard": i}``
+  — drain the ``i``-th sub-walk of the init geometry.
+- ``result``   worker → coordinator: the shard's ``ScanResult`` counters.
+- ``shutdown`` coordinator → worker: drain done, exit cleanly.
+
+Determinism and failure semantics: every shard's ``ScanResult`` is a
+pure function of the shard description, so *which* worker drains a
+shard (or how often it is retried) never changes the outcome.  The
+coordinator re-queues the outstanding shard of any worker that dies,
+spawns a replacement, and releases results strictly in shard order —
+so the orchestrator's ``on_shard`` checkpoint stream (and therefore
+kill-and-resume byte-identity) is preserved across worker failures.
+
+Knobs: ``REPRO_DIST_WORKERS`` (worker count; default one per shard
+capped at the CPU count).  Test-only fault injection:
+``REPRO_DIST_FAIL_SHARDS`` (comma-separated shard indices whose first
+assigned worker dies mid-shard) and ``REPRO_DIST_SHARD_DELAY``
+(seconds each worker sleeps per shard, to make smoke-test kill windows
+deterministic); neither changes any result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import os
+import selectors
+import socket
+import struct
+import subprocess
+import sys
+import time
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from repro.scan.engine import ScanResult
+from repro.scan.executors import build_worker, register_executor
+
+__all__ = [
+    "ENV_FAIL_SHARDS",
+    "ENV_SHARD_DELAY",
+    "FrameStream",
+    "Coordinator",
+    "distributed_executor",
+    "worker_main",
+    "main",
+]
+
+ENV_FAIL_SHARDS = "REPRO_DIST_FAIL_SHARDS"
+ENV_SHARD_DELAY = "REPRO_DIST_SHARD_DELAY"
+
+_HEADER = struct.Struct(">I")
+#: Frame-size sanity cap: a corrupt length prefix must not allocate GBs.
+MAX_FRAME = 1 << 30
+
+
+# ---------------------------------------------------------------------------
+# Wire encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_array(arr) -> dict:
+    """A JSON-safe ``{"dtype", "data"}`` carrier for a 1-D array."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj) -> np.ndarray:
+    return np.frombuffer(
+        base64.b64decode(obj["data"]), dtype=np.dtype(obj["dtype"])
+    )
+
+
+class FrameStream:
+    """Length-prefixed JSON frames over a blocking socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+
+    def send(self, message: dict) -> None:
+        payload = json.dumps(message).encode()
+        self.sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+    def recv(self) -> dict | None:
+        """The next frame, or ``None`` on a clean EOF."""
+        header = self._read_exact(_HEADER.size)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise ValueError(f"frame of {length} bytes exceeds MAX_FRAME")
+        body = self._read_exact(length)
+        if body is None:
+            return None
+        return json.loads(body)
+
+    def _read_exact(self, n: int) -> bytes | None:
+        chunks = []
+        while n > 0:
+            chunk = self.sock.recv(n)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+def _parse_fail_shards(raw: str | None) -> frozenset:
+    if not raw:
+        return frozenset()
+    return frozenset(int(part) for part in raw.split(",") if part.strip())
+
+
+class _Worker:
+    """One connected worker: its stream, process, and assigned shard."""
+
+    __slots__ = ("stream", "pid", "assigned")
+
+    def __init__(self, stream: FrameStream, pid: int):
+        self.stream = stream
+        self.pid = pid
+        self.assigned = None  # local queue index, or None when idle
+
+
+class Coordinator:
+    """Drive N socket workers over a shard work queue, in-order results.
+
+    ``worker_args`` is the ``(responsive_values, batch_size,
+    block_state, protocol)`` tuple shared by every executor.
+    ``workers=None`` spawns one worker per shard, capped at the CPU
+    count.  ``fail_shards`` (default: ``$REPRO_DIST_FAIL_SHARDS``)
+    injects one worker death per listed shard index — replacements are
+    spawned clean, so the shard is re-queued and drained successfully;
+    ``fail_every_spawn=True`` arms replacements too, which exhausts the
+    failure budget and surfaces the RuntimeError path.
+    """
+
+    def __init__(
+        self,
+        worker_args,
+        workers: int | None = None,
+        fail_shards=None,
+        fail_every_spawn: bool = False,
+        timeout: float = 120.0,
+    ):
+        self.worker_args = worker_args
+        self.workers = workers
+        self.fail_shards = (
+            frozenset(fail_shards)
+            if fail_shards is not None
+            else _parse_fail_shards(os.environ.get(ENV_FAIL_SHARDS))
+        )
+        self.fail_every_spawn = fail_every_spawn
+        self.timeout = timeout
+        self.failures = 0
+        self._listener = None
+        self._selector = None
+        self._procs: dict[int, subprocess.Popen] = {}
+        self._connected: set[int] = set()
+        self._live: list[_Worker] = []
+        self._init_message = None
+        self._targets = ()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear everything down; safe to call twice."""
+        for worker in self._live:
+            try:
+                worker.stream.send({"type": "shutdown"})
+            except OSError:
+                pass
+            worker.stream.close()
+        self._live = []
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for proc in self._procs.values():
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._procs = {}
+        self._connected = set()
+
+    # -- spawning ------------------------------------------------------
+
+    def _spawn(self, first_generation: bool) -> None:
+        """Launch one worker process pointed at the coordinator socket."""
+        port = self._listener.getsockname()[1]
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.scan.distributed",
+            "--connect",
+            f"127.0.0.1:{port}",
+        ]
+        if self.fail_shards and (first_generation or self.fail_every_spawn):
+            argv += [
+                "--fail-shards",
+                ",".join(str(s) for s in sorted(self.fail_shards)),
+            ]
+        env = dict(os.environ)
+        # Make the repro package importable in the child regardless of
+        # how this process found it (installed, PYTHONPATH, or src/).
+        pkg_root = str(Path(__file__).resolve().parents[2])
+        path = env.get("PYTHONPATH", "")
+        if pkg_root not in path.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                pkg_root + (os.pathsep + path if path else "")
+            )
+        proc = subprocess.Popen(
+            argv, env=env, stdout=subprocess.DEVNULL
+        )
+        self._procs[proc.pid] = proc
+
+    # -- event handling ------------------------------------------------
+
+    def _fail(self, message: str) -> None:
+        self.failures += 1
+        if self.failures > self._max_failures:
+            raise RuntimeError(
+                f"distributed executor: too many worker failures "
+                f"({self.failures}); last: {message}"
+            )
+
+    def _drop_worker(self, worker: _Worker, pending: deque,
+                     reason: str) -> None:
+        """A worker died: re-queue its shard and count the failure."""
+        if worker in self._live:
+            self._live.remove(worker)
+        try:
+            self._selector.unregister(worker.stream.sock)
+        except (KeyError, ValueError):
+            pass
+        worker.stream.close()
+        proc = self._procs.pop(worker.pid, None)
+        if proc is not None:
+            # Usually the process is already dead (that's why the drop
+            # happened); a protocol-violating survivor is terminated so
+            # the reap below cannot block the event loop.
+            if proc.poll() is None:
+                proc.terminate()
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        requeued = worker.assigned
+        if requeued is not None:
+            # Front of the queue: the lost shard is the next dispatch,
+            # keeping the in-order release window as small as possible.
+            pending.appendleft(requeued)
+            worker.assigned = None
+        self._fail(
+            f"worker pid {worker.pid} {reason}"
+            + (f" while draining queue slot {requeued}" if requeued
+               is not None else "")
+        )
+        # An already-idle survivor picks the re-queued shard up at once;
+        # a replacement is only spawned for work nobody can absorb.
+        for idle in list(self._live):
+            if not pending:
+                break
+            self._dispatch(idle, pending, self._targets)
+        if pending:
+            self._spawn(first_generation=False)
+
+    def _dispatch(self, worker: _Worker, pending: deque, targets) -> None:
+        if worker.assigned is not None or not pending:
+            return
+        index = pending.popleft()
+        try:
+            worker.stream.send(
+                {"type": "shard", "shard": int(targets[index].shard),
+                 "index": index}
+            )
+            worker.assigned = index
+        except OSError:
+            pending.appendleft(index)
+            self._drop_worker(worker, pending, "died at dispatch")
+
+    def _accept(self, pending: deque, targets) -> None:
+        sock, _ = self._listener.accept()
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Every read/write on a worker socket is bounded: a peer that
+        # connects and then stalls (mid-hello, mid-frame, or refusing
+        # to drain the init payload) times out and is handled as a
+        # failure instead of wedging the event loop past the watchdog.
+        sock.settimeout(self.timeout)
+        stream = FrameStream(sock)
+        try:
+            hello = stream.recv()
+        except OSError:
+            hello = None
+        if hello is None or hello.get("type") != "hello":
+            stream.close()
+            self._fail("worker connected without a hello")
+            if pending:
+                self._spawn(first_generation=False)
+            return
+        worker = _Worker(stream, int(hello.get("pid", -1)))
+        self._connected.add(worker.pid)
+        try:
+            stream.send(self._init_message)
+        except OSError:
+            # The pid is already marked connected, so _reap_unconnected
+            # will never replace this worker — do it here.
+            stream.close()
+            self._fail(f"worker pid {worker.pid} died at init")
+            if pending:
+                self._spawn(first_generation=False)
+            return
+        self._live.append(worker)
+        self._selector.register(sock, selectors.EVENT_READ, worker)
+        self._dispatch(worker, pending, targets)
+
+    def _on_readable(self, worker: _Worker, pending: deque, targets,
+                     results: dict) -> bool:
+        """Handle one frame from a worker; True when a result landed."""
+        try:
+            message = worker.stream.recv()
+        except (OSError, ValueError) as exc:
+            self._drop_worker(worker, pending, f"errored ({exc})")
+            return False
+        if message is None:
+            if worker.assigned is None and not pending:
+                # Clean EOF from an idle worker during wind-down.
+                if worker in self._live:
+                    self._live.remove(worker)
+                try:
+                    self._selector.unregister(worker.stream.sock)
+                except (KeyError, ValueError):
+                    pass
+                worker.stream.close()
+                return False
+            self._drop_worker(worker, pending, "hung up")
+            return False
+        if message.get("type") != "result":
+            self._drop_worker(
+                worker, pending,
+                f"sent unexpected {message.get('type')!r}",
+            )
+            return False
+        index = worker.assigned
+        if index is None or index != message.get("index"):
+            # Validate *before* clearing the assignment: a stale or
+            # duplicate result frame must not erase the in-flight shard
+            # — _drop_worker re-queues whatever is still assigned.
+            self._drop_worker(
+                worker, pending, "sent a result for an unassigned shard"
+            )
+            return False
+        worker.assigned = None
+        results[index] = ScanResult(
+            probes_sent=int(message["probes_sent"]),
+            responses=int(message["responses"]),
+            blocked=int(message["blocked"]),
+            batches=int(message["batches"]),
+            protocol=message.get("protocol"),
+        )
+        self._dispatch(worker, pending, targets)
+        return True
+
+    def _reap_unconnected(self, pending: deque) -> None:
+        """Workers that died before saying hello never hit the selector."""
+        for pid, proc in list(self._procs.items()):
+            if pid not in self._connected and proc.poll() is not None:
+                del self._procs[pid]
+                self._fail(
+                    f"worker pid {pid} exited with {proc.returncode} "
+                    "before connecting"
+                )
+                if pending:
+                    self._spawn(first_generation=False)
+
+    # -- the drive loop ------------------------------------------------
+
+    def run(self, targets):
+        """Drain ``targets``; yield one ScanResult per shard, in order."""
+        targets = self._targets = list(targets)
+        if not targets:
+            return
+        geometry = targets[0]
+        for t in targets[1:]:
+            if (
+                t.seed != geometry.seed
+                or t.shards != geometry.shards
+                or not np.array_equal(t.starts, geometry.starts)
+                or not np.array_equal(t.ends, geometry.ends)
+            ):
+                raise ValueError(
+                    "distributed executor requires shards of one walk "
+                    "(shared starts/ends/seed/shards geometry)"
+                )
+        values, batch_size, block_state, protocol = self.worker_args
+        self._init_message = {
+            "type": "init",
+            "protocol": protocol,
+            "batch_size": int(batch_size),
+            "responsive": encode_array(values),
+            "block_starts": (
+                encode_array(block_state[0]) if block_state else None
+            ),
+            "block_ends": (
+                encode_array(block_state[1]) if block_state else None
+            ),
+            "starts": encode_array(geometry.starts),
+            "ends": encode_array(geometry.ends),
+            "seed": int(geometry.seed),
+            "shards": int(geometry.shards),
+        }
+        self._max_failures = max(8, 2 * len(targets))
+        pending = deque(range(len(targets)))
+        results: dict[int, ScanResult] = {}
+        next_emit = 0
+
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(64)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(
+            self._listener, selectors.EVENT_READ, None
+        )
+        n_workers = self.workers or min(
+            len(targets), os.cpu_count() or 1
+        )
+        for _ in range(max(1, min(n_workers, len(targets)))):
+            self._spawn(first_generation=True)
+
+        last_progress = time.monotonic()
+        try:
+            while next_emit < len(targets):
+                for key, _ in self._selector.select(timeout=0.2):
+                    if key.data is None:
+                        self._accept(pending, targets)
+                        last_progress = time.monotonic()
+                    elif self._on_readable(
+                        key.data, pending, targets, results
+                    ):
+                        last_progress = time.monotonic()
+                self._reap_unconnected(pending)
+                while next_emit in results:
+                    yield results.pop(next_emit)
+                    next_emit += 1
+                    last_progress = time.monotonic()
+                if time.monotonic() - last_progress > self.timeout:
+                    raise RuntimeError(
+                        "distributed executor: no worker progress for "
+                        f"{self.timeout:.0f}s "
+                        f"(shard {next_emit}/{len(targets)})"
+                    )
+        finally:
+            self.close()
+
+
+@register_executor("distributed")
+def distributed_executor(targets, worker_args, wrap_targets=None):
+    """Coordinator + N local socket workers (the multi-node protocol)."""
+    from repro.env import dist_workers
+
+    if wrap_targets is not None:
+        raise ValueError(
+            "wrap_targets requires the serial executor: wrapper state "
+            "cannot be shared across worker processes"
+        )
+    with Coordinator(worker_args, workers=dist_workers()) as coordinator:
+        yield from coordinator.run(targets)
+
+
+# ---------------------------------------------------------------------------
+# Worker side (`python -m repro.scan.distributed --connect HOST:PORT`)
+# ---------------------------------------------------------------------------
+
+
+def worker_main(host: str, port: int, fail_shards=frozenset()) -> int:
+    """Connect, drain shards until shutdown/EOF.  The remote-node loop."""
+    # Imported lazily: this module is imported by repro.scan.executors
+    # while repro.scan.sharded is still initialising, so a top-level
+    # import would be circular.
+    from repro.scan.sharded import IntervalTargets
+
+    delay = float(os.environ.get(ENV_SHARD_DELAY, "0") or 0.0)
+    stream = FrameStream(socket.create_connection((host, port)))
+    stream.send({"type": "hello", "pid": os.getpid()})
+    engine = truth = protocol = None
+    geometry = None
+    while True:
+        message = stream.recv()
+        if message is None or message["type"] == "shutdown":
+            stream.close()
+            return 0
+        if message["type"] == "init":
+            block_state = None
+            if message["block_starts"] is not None:
+                block_state = (
+                    decode_array(message["block_starts"]),
+                    decode_array(message["block_ends"]),
+                )
+            engine, truth, protocol = build_worker(
+                decode_array(message["responsive"]),
+                message["batch_size"],
+                block_state,
+                message["protocol"],
+            )
+            geometry = (
+                decode_array(message["starts"]),
+                decode_array(message["ends"]),
+                message["seed"],
+                message["shards"],
+            )
+        elif message["type"] == "shard":
+            if engine is None:
+                raise RuntimeError("shard received before init")
+            shard = int(message["shard"])
+            if delay:
+                time.sleep(delay)
+            if shard in fail_shards:
+                # Injected node loss: die without a result, mid-shard.
+                os._exit(17)
+            starts, ends, seed, shards = geometry
+            targets = IntervalTargets(
+                (starts, ends), seed=seed, shard=shard, shards=shards
+            )
+            result = engine.run(targets, truth, protocol=protocol)
+            stream.send(
+                {
+                    "type": "result",
+                    "index": message["index"],
+                    "shard": shard,
+                    "probes_sent": result.probes_sent,
+                    "responses": result.responses,
+                    "blocked": result.blocked,
+                    "batches": result.batches,
+                    "protocol": result.protocol,
+                }
+            )
+        else:
+            raise RuntimeError(f"unexpected message {message['type']!r}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.scan.distributed",
+        description="Distributed scan worker: connect to a coordinator "
+        "and drain shards.",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    parser.add_argument(
+        "--fail-shards", default="",
+        help="test-only: die when first asked for these shard indices",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+    return worker_main(
+        host, int(port), _parse_fail_shards(args.fail_shards)
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

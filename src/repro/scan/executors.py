@@ -1,0 +1,176 @@
+"""Pluggable shard-executor registry (mirrors :mod:`repro.bgp.backends`).
+
+``run_sharded`` used to hard-code a ``serial``/``process`` branch; this
+module makes the execution strategy a *registry* of interchangeable
+executors instead.  An executor is a generator function
+
+    fn(targets, worker_args, wrap_targets=None) -> iterator[ScanResult]
+
+that drains a list of :class:`~repro.scan.sharded.IntervalTargets`
+shard descriptions and yields one :class:`~repro.scan.engine.ScanResult`
+per shard **in list order** — the ordering contract is what lets the
+orchestrator checkpoint at every shard boundary and keep kill-and-resume
+byte-identical no matter which executor drained the shards.
+
+Built-in executors:
+
+- ``serial``      — drain shards in-process, in order; the only executor
+  that supports ``wrap_targets`` (pacing wrappers share in-process
+  state with the caller).
+- ``process``     — one pool worker process per shard, capped at the CPU
+  count (:class:`concurrent.futures.ProcessPoolExecutor`).
+- ``distributed`` — a coordinator that ships shard descriptions to N
+  worker processes over a length-prefixed JSON socket protocol,
+  re-queues shards lost to worker failures, and re-orders results back
+  into shard order (:mod:`repro.scan.distributed`).
+
+Registering a new executor is one decorated generator function::
+
+    from repro.scan.executors import register_executor
+
+    @register_executor("myexec")
+    def my_executor(targets, worker_args, wrap_targets=None):
+        for shard in targets:
+            yield ...  # a ScanResult, in shard order
+
+``worker_args`` is the picklable 4-tuple
+``(responsive_values, batch_size, block_state, protocol)`` accepted by
+:func:`build_worker`, which turns it into a ready
+``(engine, truth, protocol)`` triple inside any process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.census.addrset import AddressSet
+from repro.scan.blocklist import Blocklist
+from repro.scan.engine import EngineConfig, ScanEngine
+
+__all__ = [
+    "register_executor",
+    "available_executors",
+    "get_executor",
+    "executor_supports_wrap",
+    "build_worker",
+]
+
+_REGISTRY: dict[str, object] = {}
+
+
+def register_executor(name: str, *, supports_wrap: bool = False):
+    """Decorator registering ``fn(targets, worker_args, wrap_targets)``.
+
+    ``supports_wrap`` declares whether the executor can apply a
+    ``wrap_targets`` stream wrapper — only in-process executors can,
+    since a wrapper's state (e.g. a token bucket) cannot be shared
+    across worker processes.
+    """
+
+    def decorate(fn):
+        fn.executor_name = name
+        fn.supports_wrap = bool(supports_wrap)
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def available_executors() -> list[str]:
+    """Registered executor names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_executor(name: str):
+    """Resolve a registered executor by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; "
+            f"available: {available_executors()}"
+        ) from None
+
+
+def executor_supports_wrap(name: str) -> bool:
+    """Whether ``name`` can apply in-process ``wrap_targets`` wrappers."""
+    return bool(getattr(get_executor(name), "supports_wrap", False))
+
+
+# ---------------------------------------------------------------------------
+# Worker construction (shared by every executor, in any process)
+# ---------------------------------------------------------------------------
+
+
+def build_worker(responsive_values, batch_size, block_state, protocol):
+    """(engine, truth, protocol) ready to drain shards."""
+    blocklist = (
+        Blocklist(block_state[0], block_state[1])
+        if block_state is not None
+        else None
+    )
+    engine = ScanEngine(EngineConfig(batch_size=batch_size), blocklist)
+    truth = AddressSet(responsive_values, assume_sorted_unique=True)
+    return engine, truth, protocol
+
+
+#: Per-process worker state, installed once by the pool initializer so
+#: the responsive set crosses into each worker once, not once per shard.
+_WORKER = None
+
+
+def _init_worker(responsive_values, batch_size, block_state, protocol):
+    global _WORKER
+    _WORKER = build_worker(
+        responsive_values, batch_size, block_state, protocol
+    )
+
+
+def _run_shard_pooled(targets):
+    """Drain one shard in a pool worker (module-level for pickling)."""
+    engine, truth, protocol = _WORKER
+    return engine.run(targets, truth, protocol=protocol)
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits sys.path); fall back to the default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+
+
+# ---------------------------------------------------------------------------
+# Built-in executors
+# ---------------------------------------------------------------------------
+
+
+@register_executor("serial", supports_wrap=True)
+def serial_executor(targets, worker_args, wrap_targets=None):
+    """Drain shards in-process, in order."""
+    engine, truth, protocol = build_worker(*worker_args)
+    for shard in targets:
+        stream = shard if wrap_targets is None else wrap_targets(shard)
+        yield engine.run(stream, truth, protocol=protocol)
+
+
+@register_executor("process")
+def process_executor(targets, worker_args, wrap_targets=None):
+    """One pool worker process per shard, capped at the CPU count."""
+    workers = min(len(targets), os.cpu_count() or 1)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=worker_args,
+    ) as pool:
+        # pool.map preserves shard order, so merges stay deterministic
+        # and downstream on_shard hooks fire at true shard boundaries.
+        yield from pool.map(_run_shard_pooled, targets)
+
+
+# Imported last so the distributed module can register itself through
+# the (already defined) decorator without a circular import.
+from repro.scan import distributed as _distributed  # noqa: E402,F401

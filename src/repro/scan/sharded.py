@@ -13,11 +13,12 @@ processes untouched.
 a :class:`~repro.core.tass.Selection`, a
 :class:`~repro.bgp.table.Partition`, a prefix list, raw
 ``(starts, ends)`` arrays, or a plain range size — executes the shards
-serially or on a process pool, and merges the per-shard
-:class:`~repro.scan.engine.ScanResult`\\ s deterministically: the merged
-result is **shard-count invariant** (``K=1`` and ``K=8`` produce
-byte-identical merged results), which the differential test suite
-asserts.
+through a registered executor (``serial``, ``process``, or
+``distributed``; see :mod:`repro.scan.executors`), and merges the
+per-shard :class:`~repro.scan.engine.ScanResult`\\ s deterministically:
+the merged result is **shard-count and executor invariant** (``K=1``
+serial and ``K=8`` distributed produce byte-identical merged results),
+which the differential test suite asserts.
 
 Knobs: ``shards``/``executor`` arguments, or the ``REPRO_SCAN_SHARDS``
 and ``REPRO_SCAN_EXECUTOR`` environment variables.
@@ -25,17 +26,14 @@ and ``REPRO_SCAN_EXECUTOR`` environment variables.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.census.addrset import AddressSet
 from repro.env import scan_executor, scan_shards
-from repro.scan.blocklist import Blocklist
-from repro.scan.engine import EngineConfig, ScanEngine, ScanResult
+from repro.scan.engine import EngineConfig, ScanResult
+from repro.scan.executors import executor_supports_wrap, get_executor
 from repro.scan.permutation import CyclicPermutation
 
 __all__ = [
@@ -164,15 +162,22 @@ def merge_results(
     :class:`EngineConfig` supplies its default at call time (never a
     class attribute frozen at import, so custom batch sizes survive
     the merge).
+
+    Shard results carrying *different* protocols are a correctness
+    violation — one merged result cannot account for two protocols —
+    and raise a :class:`ValueError` naming the conflict instead of
+    silently adopting whichever protocol came first.
     """
     if batch_size is None:
         batch_size = (config or EngineConfig()).batch_size
     results = list(results)
-    merged = ScanResult(
-        protocol=next(
-            (r.protocol for r in results if r.protocol is not None), None
+    protocols = {r.protocol for r in results if r.protocol is not None}
+    if len(protocols) > 1:
+        raise ValueError(
+            "cannot merge shard results with conflicting protocols: "
+            + ", ".join(repr(p) for p in sorted(protocols))
         )
-    )
+    merged = ScanResult(protocol=protocols.pop() if protocols else None)
     for result in results:
         merged.probes_sent += result.probes_sent
         merged.responses += result.responses
@@ -196,44 +201,6 @@ class ShardedScanResult:
         return self.result.hitrate
 
 
-def _build_worker(responsive_values, batch_size, block_state, protocol):
-    """(engine, truth, protocol) ready to drain shards."""
-    blocklist = (
-        Blocklist(block_state[0], block_state[1])
-        if block_state is not None
-        else None
-    )
-    engine = ScanEngine(EngineConfig(batch_size=batch_size), blocklist)
-    truth = AddressSet(responsive_values, assume_sorted_unique=True)
-    return engine, truth, protocol
-
-
-#: Per-process worker state, installed once by the pool initializer so
-#: the responsive set crosses into each worker once, not once per shard.
-_WORKER = None
-
-
-def _init_worker(responsive_values, batch_size, block_state, protocol):
-    global _WORKER
-    _WORKER = _build_worker(
-        responsive_values, batch_size, block_state, protocol
-    )
-
-
-def _run_shard_pooled(targets):
-    """Drain one shard in a pool worker (module-level for pickling)."""
-    engine, truth, protocol = _WORKER
-    return engine.run(targets, truth, protocol=protocol)
-
-
-def _pool_context():
-    """Prefer fork (cheap, inherits sys.path); fall back to the default."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else None
-    )
-
-
 def run_sharded(
     spec,
     responsive,
@@ -250,10 +217,13 @@ def run_sharded(
 ) -> ShardedScanResult:
     """Scan a target spec across ``shards`` engine workers and merge.
 
-    ``executor`` is ``"serial"`` (drain shards in-process, in order) or
-    ``"process"`` (one worker process per shard, capped at the CPU
-    count).  Both produce identical results; the merged result is also
-    invariant in ``shards`` itself.
+    ``executor`` names any executor registered in
+    :mod:`repro.scan.executors` — ``"serial"`` (drain shards
+    in-process, in order), ``"process"`` (one pool worker process per
+    shard, capped at the CPU count), or ``"distributed"`` (a
+    coordinator shipping shards to socket workers with
+    requeue-on-failure).  All produce identical results; the merged
+    result is also invariant in ``shards`` itself.
 
     Checkpoint hooks (the orchestrator's shard-boundary machinery):
 
@@ -284,38 +254,23 @@ def run_sharded(
         (blocklist.starts, blocklist.ends) if blocklist is not None else None
     )
     worker_args = (values, config.batch_size, block_state, protocol)
-    # A single shard never pays for a pool; report the mode actually used.
+    # A single shard never pays for workers; report the mode actually used.
     if shards == 1:
         executor = "serial"
-    if executor == "process" and wrap_targets is not None:
+    if wrap_targets is not None and not executor_supports_wrap(executor):
         raise ValueError(
             "wrap_targets requires the serial executor: wrapper state "
             "cannot be shared across worker processes"
         )
     shard_results = list(done)
-    # An all-completed resume has nothing to drain — never fork a pool
-    # (or build a worker) just to map over zero shards.
-    if not targets:
-        pass
-    elif executor == "process":
-        workers = min(len(targets), os.cpu_count() or 1)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=_pool_context(),
-            initializer=_init_worker,
-            initargs=worker_args,
-        ) as pool:
-            # pool.map preserves shard order, so merges stay
-            # deterministic and on_shard fires at true shard boundaries.
-            for result in pool.map(_run_shard_pooled, targets):
-                shard_results.append(result)
-                if on_shard is not None:
-                    on_shard(len(shard_results) - 1, result)
-    else:
-        engine, truth, protocol = _build_worker(*worker_args)
-        for shard in targets:
-            stream = shard if wrap_targets is None else wrap_targets(shard)
-            result = engine.run(stream, truth, protocol=protocol)
+    # An all-completed resume has nothing to drain — never spin up an
+    # executor (or build a worker) just to map over zero shards.
+    if targets:
+        drain = get_executor(executor)
+        # Executors yield one result per shard, in shard order — the
+        # contract that keeps merges deterministic and lets on_shard
+        # fire at true shard boundaries.
+        for result in drain(targets, worker_args, wrap_targets=wrap_targets):
             shard_results.append(result)
             if on_shard is not None:
                 on_shard(len(shard_results) - 1, result)

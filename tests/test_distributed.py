@@ -1,0 +1,333 @@
+"""Distributed executor: registry, wire codec, parity, failure requeue.
+
+The load-bearing guarantees: merged results are **executor invariant**
+(``serial``, ``process``, and ``distributed`` produce byte-identical
+``ShardedScanResult.result``\\ s, per-shard results included), worker
+failures re-queue the lost shard without perturbing any result, and a
+campaign killed and resumed under the distributed executor stays
+byte-identical to an uninterrupted run.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from conftest import build_mini_dataset
+from repro.orchestrator import CampaignRunner, CampaignSpec, ReseedPolicy
+from repro.scan.blocklist import Blocklist
+from repro.scan.distributed import (
+    ENV_FAIL_SHARDS,
+    Coordinator,
+    decode_array,
+    encode_array,
+)
+from repro.scan.engine import EngineConfig
+from repro.scan.executors import (
+    available_executors,
+    executor_supports_wrap,
+    get_executor,
+    register_executor,
+)
+from repro.scan.sharded import run_sharded, shard_targets
+
+_CONFIG = EngineConfig(batch_size=1 << 11)
+
+
+def _world():
+    rng = np.random.default_rng(11)
+    responsive = np.unique(rng.integers(0, 300000, 6000))
+    return 300000, responsive
+
+
+def _result_bytes(result) -> bytes:
+    return repr(dataclasses.astuple(result)).encode()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorRegistry:
+    def test_builtins_registered(self):
+        names = available_executors()
+        assert {"serial", "process", "distributed"} <= set(names)
+
+    def test_unknown_executor_lists_available(self):
+        with pytest.raises(ValueError, match="unknown executor 'gpu'"):
+            get_executor("gpu")
+
+    def test_wrap_support_metadata(self):
+        assert executor_supports_wrap("serial")
+        assert not executor_supports_wrap("process")
+        assert not executor_supports_wrap("distributed")
+
+    def test_env_registry_view_is_live(self):
+        import repro.env as env
+
+        assert set(env.EXECUTORS) == set(available_executors())
+
+    def test_custom_executor_threads_through_run_sharded(self):
+        from repro.scan.executors import _REGISTRY, serial_executor
+
+        calls = []
+
+        @register_executor("counting-serial", supports_wrap=True)
+        def counting(targets, worker_args, wrap_targets=None):
+            calls.append(len(targets))
+            yield from serial_executor(
+                targets, worker_args, wrap_targets=wrap_targets
+            )
+
+        try:
+            spec, responsive = _world()
+            run = run_sharded(
+                spec, responsive, shards=3, executor="counting-serial",
+                config=_CONFIG,
+            )
+            baseline = run_sharded(
+                spec, responsive, shards=3, executor="serial",
+                config=_CONFIG,
+            )
+            assert calls == [3]
+            assert run.executor == "counting-serial"
+            assert _result_bytes(run.result) == _result_bytes(
+                baseline.result
+            )
+        finally:
+            del _REGISTRY["counting-serial"]
+
+
+# ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+
+
+def test_array_codec_roundtrip():
+    for arr in (
+        np.arange(17, dtype=np.int64),
+        np.array([], dtype=np.int64),
+        np.array([2**40, -5], dtype=np.int64),
+    ):
+        carried = json.loads(json.dumps(encode_array(arr)))
+        assert np.array_equal(decode_array(carried), arr)
+        assert decode_array(carried).dtype == arr.dtype
+
+
+# ---------------------------------------------------------------------------
+# Executor parity
+# ---------------------------------------------------------------------------
+
+
+def test_distributed_matches_serial_and_process():
+    spec, responsive = _world()
+    runs = {
+        name: run_sharded(
+            spec, responsive, shards=4, executor=name, config=_CONFIG,
+            protocol="http",
+        )
+        for name in ("serial", "process", "distributed")
+    }
+    reference = _result_bytes(runs["serial"].result)
+    for name, run in runs.items():
+        assert _result_bytes(run.result) == reference, name
+        assert run.result.protocol == "http"
+        for left, right in zip(
+            runs["serial"].shard_results, run.shard_results
+        ):
+            assert _result_bytes(left) == _result_bytes(right), name
+
+
+def test_distributed_carries_blocklist_accounting():
+    spec, responsive = _world()
+    blocklist = Blocklist(np.array([1000]), np.array([3000]))
+    serial = run_sharded(
+        spec, responsive, shards=3, executor="serial", config=_CONFIG,
+        blocklist=blocklist,
+    )
+    dist = run_sharded(
+        spec, responsive, shards=3, executor="distributed",
+        config=_CONFIG, blocklist=blocklist,
+    )
+    assert serial.result.blocked == 2000
+    assert _result_bytes(serial.result) == _result_bytes(dist.result)
+
+
+def test_distributed_respects_worker_count_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_DIST_WORKERS", "2")
+    spec, responsive = _world()
+    serial = run_sharded(
+        spec, responsive, shards=5, executor="serial", config=_CONFIG
+    )
+    dist = run_sharded(
+        spec, responsive, shards=5, executor="distributed", config=_CONFIG
+    )
+    assert _result_bytes(serial.result) == _result_bytes(dist.result)
+
+
+def test_distributed_rejects_wrap_targets():
+    spec, responsive = _world()
+    with pytest.raises(ValueError, match="serial executor"):
+        run_sharded(
+            spec, responsive, shards=2, executor="distributed",
+            config=_CONFIG, wrap_targets=lambda t: t,
+        )
+
+
+def test_distributed_on_shard_fires_in_shard_order():
+    spec, responsive = _world()
+    seen = []
+    run_sharded(
+        spec, responsive, shards=4, executor="distributed",
+        config=_CONFIG, on_shard=lambda i, r: seen.append(i),
+    )
+    assert seen == [0, 1, 2, 3]
+
+
+def test_coordinator_rejects_mismatched_geometry():
+    spec, responsive = _world()
+    targets = shard_targets(spec, shards=2, seed=0)
+    other = shard_targets(spec, shards=2, seed=9)
+    with Coordinator((responsive, 1 << 11, None, None)) as coordinator:
+        with pytest.raises(ValueError, match="one walk"):
+            list(coordinator.run([targets[0], other[1]]))
+
+
+# ---------------------------------------------------------------------------
+# Failure injection and requeue
+# ---------------------------------------------------------------------------
+
+
+def test_worker_failure_requeues_without_perturbing_results():
+    spec, responsive = _world()
+    serial = run_sharded(
+        spec, responsive, shards=4, executor="serial", config=_CONFIG
+    )
+    targets = shard_targets(spec, shards=4, seed=0)
+    worker_args = (responsive, _CONFIG.batch_size, None, None)
+    with Coordinator(
+        worker_args, workers=2, fail_shards={2}
+    ) as coordinator:
+        results = list(coordinator.run(targets))
+        assert coordinator.failures >= 1
+    assert [_result_bytes(r) for r in results] == [
+        _result_bytes(r) for r in serial.shard_results
+    ]
+
+
+def test_env_fail_injection_through_run_sharded(monkeypatch):
+    spec, responsive = _world()
+    serial = run_sharded(
+        spec, responsive, shards=3, executor="serial", config=_CONFIG
+    )
+    monkeypatch.setenv(ENV_FAIL_SHARDS, "1")
+    dist = run_sharded(
+        spec, responsive, shards=3, executor="distributed", config=_CONFIG
+    )
+    assert _result_bytes(serial.result) == _result_bytes(dist.result)
+
+
+def test_unrecoverable_failures_raise():
+    spec, responsive = _world()
+    targets = shard_targets(spec, shards=2, seed=0)
+    worker_args = (responsive, _CONFIG.batch_size, None, None)
+    with Coordinator(
+        worker_args,
+        workers=1,
+        fail_shards={0, 1},
+        fail_every_spawn=True,
+    ) as coordinator:
+        with pytest.raises(RuntimeError, match="worker failures"):
+            list(coordinator.run(targets))
+
+
+# ---------------------------------------------------------------------------
+# Campaign integration: kill-and-resume under the distributed executor
+# ---------------------------------------------------------------------------
+
+
+class _Killed(RuntimeError):
+    pass
+
+
+DIST_SPEC = CampaignSpec(
+    preset="mini",
+    waves=2,
+    phi=0.9,
+    shards=3,
+    executor="distributed",
+    reseed=ReseedPolicy("interval", interval=0),
+    batch_size=1 << 12,
+)
+
+
+def _status_bytes(status: dict) -> bytes:
+    return json.dumps(status, sort_keys=True).encode()
+
+
+def test_distributed_campaign_matches_serial_campaign():
+    serial_spec = dataclasses.replace(DIST_SPEC, executor="serial")
+    dist = CampaignRunner(DIST_SPEC, dataset=build_mini_dataset()).run()
+    serial = CampaignRunner(
+        serial_spec, dataset=build_mini_dataset()
+    ).run()
+    # The spec (and position executor echo) legitimately differ; every
+    # computed number must not.
+    assert dist["waves"] == serial["waves"]
+    assert dist["totals"] == serial["totals"]
+
+
+def test_distributed_kill_and_resume_is_byte_identical(tmp_path):
+    reference = CampaignRunner(
+        DIST_SPEC, dataset=build_mini_dataset()
+    ).run()
+
+    directory = tmp_path / "dist"
+    runner = CampaignRunner(
+        DIST_SPEC, dataset=build_mini_dataset(), directory=directory
+    )
+    runner.store.write_spec(runner.spec.to_dict())
+    seen = [0]
+
+    def kill(_):
+        seen[0] += 1
+        if seen[0] == 2:  # mid-wave, one shard checkpointed
+            raise _Killed()
+
+    with pytest.raises(_Killed):
+        runner.run(on_checkpoint=kill)
+    resumed = CampaignRunner.resume(
+        directory, dataset=build_mini_dataset()
+    )
+    assert _status_bytes(resumed.run()) == _status_bytes(reference)
+
+
+def test_distributed_kill_and_resume_with_worker_failure(
+    tmp_path, monkeypatch
+):
+    """Node loss *and* a kill-and-resume together stay deterministic."""
+    reference = CampaignRunner(
+        DIST_SPEC, dataset=build_mini_dataset()
+    ).run()
+
+    monkeypatch.setenv(ENV_FAIL_SHARDS, "1")
+    directory = tmp_path / "dist-faulty"
+    runner = CampaignRunner(
+        DIST_SPEC, dataset=build_mini_dataset(), directory=directory
+    )
+    runner.store.write_spec(runner.spec.to_dict())
+    seen = [0]
+
+    def kill(_):
+        seen[0] += 1
+        if seen[0] == 2:
+            raise _Killed()
+
+    with pytest.raises(_Killed):
+        runner.run(on_checkpoint=kill)
+    resumed = CampaignRunner.resume(
+        directory, dataset=build_mini_dataset()
+    )
+    assert _status_bytes(resumed.run()) == _status_bytes(reference)

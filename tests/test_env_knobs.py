@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.env import count_backend, scan_executor, scan_shards
+from repro.env import count_backend, dist_workers, scan_executor, scan_shards
 from repro.scan.sharded import run_sharded
 
 
@@ -57,6 +57,11 @@ class TestScanExecutor:
         monkeypatch.setenv("REPRO_SCAN_EXECUTOR", "process")
         assert scan_executor() == "process"
 
+    def test_distributed_accepted(self, monkeypatch):
+        assert scan_executor("distributed") == "distributed"
+        monkeypatch.setenv("REPRO_SCAN_EXECUTOR", "distributed")
+        assert scan_executor() == "distributed"
+
     def test_bad_env_value_lists_choices(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCAN_EXECUTOR", "threads")
         with pytest.raises(ValueError) as excinfo:
@@ -64,7 +69,33 @@ class TestScanExecutor:
         message = str(excinfo.value)
         assert "unknown executor 'threads'" in message
         assert "'serial'" in message and "'process'" in message
+        assert "'distributed'" in message
         assert "REPRO_SCAN_EXECUTOR" in message
+
+    def test_executors_attribute_is_registry_backed(self):
+        import repro.env as env
+        from repro.scan.executors import available_executors
+
+        assert env.EXECUTORS == tuple(available_executors())
+        with pytest.raises(AttributeError):
+            env.NOT_A_KNOB
+
+
+class TestDistWorkers:
+    def test_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DIST_WORKERS", raising=False)
+        assert dist_workers() is None
+
+    def test_explicit_and_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIST_WORKERS", "8")
+        assert dist_workers(3) == 3
+        assert dist_workers() == 8
+
+    @pytest.mark.parametrize("bad", ["abc", "0", "-2", "1.5"])
+    def test_bad_values_rejected_with_source(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_DIST_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_DIST_WORKERS"):
+            dist_workers()
 
 
 class TestCountBackend:

@@ -182,6 +182,51 @@ class TestTokenBucket:
         assert paced == plain
         assert bucket.consumed == 5000
 
+    def test_overshooting_sleep_credits_elapsed_time(self):
+        # Regression: throttle used to zero the bucket after sleeping,
+        # discarding every token accrued while the OS overslept.
+        clock = FakeClock()
+        bucket = TokenBucket(
+            100.0, clock=clock,
+            sleep=lambda seconds: clock.sleep(seconds * 1.5),
+        )
+        bucket.throttle(100)  # drains the initial burst, no sleep
+        bucket.throttle(100)  # asks for 1.0s, the clock advances 1.5s
+        assert bucket.slept == pytest.approx(1.0)
+        # The 0.5s overshoot accrued 50 tokens; they must be spendable.
+        assert bucket.throttle(50) == 0.0
+        assert clock.now == pytest.approx(1.5)
+
+    def test_long_paced_run_does_not_drift_below_rate(self):
+        # With a sleep that always overshoots by 25%, the credited
+        # surplus must pull later waits down so the achieved rate
+        # converges to the configured one instead of drifting 25% low.
+        clock = FakeClock()
+        bucket = TokenBucket(
+            1000.0, clock=clock,
+            sleep=lambda seconds: clock.sleep(seconds * 1.25),
+        )
+        for _ in range(100):
+            bucket.throttle(500)
+        assert bucket.achieved_rate == pytest.approx(1000.0, rel=0.02)
+        # The pre-fix bucket lands at 61.25s here (~816 tokens/sec).
+        assert clock.now < 50.0
+
+    def test_undershooting_sleep_keeps_the_rate_bounded(self):
+        # A sleep returning *early* leaves a deficit the next throttle
+        # must wait out — the average rate never exceeds the configured.
+        clock = FakeClock()
+        bucket = TokenBucket(
+            1000.0, clock=clock,
+            sleep=lambda seconds: clock.sleep(seconds * 0.5),
+        )
+        for _ in range(50):
+            bucket.throttle(500)
+        # Never more than rate * elapsed + the burst head start + the
+        # one in-flight request the deficit is charged against.
+        assert bucket.consumed <= 1000.0 * clock.now + 1000.0 + 500.0 + 1e-6
+        assert bucket.achieved_rate == pytest.approx(1000.0, rel=0.10)
+
 
 # ---------------------------------------------------------------------------
 # Checkpoint store
@@ -218,6 +263,45 @@ class TestCheckpointStore:
     def test_missing_spec_mentions_plan(self, tmp_path):
         with pytest.raises(FileNotFoundError, match="plan"):
             CheckpointStore(tmp_path).read_spec()
+
+    def test_save_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        # Durability regression: rename-without-fsync can surface a
+        # truncated "atomic" checkpoint after a power loss.  Both the
+        # tmp file (before the rename) and the directory (after it)
+        # must be fsynced.
+        import os as _os
+
+        store = CheckpointStore(tmp_path)
+        real_fsync = _os.fsync
+        synced = []
+
+        def recording_fsync(fd):
+            synced.append(_os.fstat(fd).st_mode)
+            return real_fsync(fd)
+
+        import stat
+
+        monkeypatch.setattr(
+            "repro.orchestrator.checkpoint.os.fsync", recording_fsync
+        )
+        store.save({"wave": 0}, {"mask": np.zeros(3, dtype=bool)})
+        assert any(stat.S_ISREG(mode) for mode in synced), "file fsync"
+        assert any(stat.S_ISDIR(mode) for mode in synced), "dir fsync"
+
+        synced.clear()
+        store.write_status({"finished": False})
+        assert any(stat.S_ISREG(mode) for mode in synced)
+        assert any(stat.S_ISDIR(mode) for mode in synced)
+
+    def test_orphaned_tmp_files_swept_on_open(self, tmp_path):
+        directory = tmp_path / "camp"
+        directory.mkdir()
+        (directory / "checkpoint.tmp.npz").write_bytes(b"truncated")
+        (directory / "status.tmp").write_text("{")
+        store = CheckpointStore(directory)
+        assert not (directory / "checkpoint.tmp.npz").exists()
+        assert not (directory / "status.tmp").exists()
+        assert not store.has_checkpoint()
 
 
 # ---------------------------------------------------------------------------

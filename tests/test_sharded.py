@@ -217,3 +217,61 @@ def test_merge_results_normalises_batches():
     assert merged.blocked == 10
     assert merged.batches == -(-160 // 64)
     assert merge_results([], batch_size=64).probes_sent == 0
+
+
+def test_merge_results_rejects_conflicting_protocols():
+    from repro.scan.engine import ScanResult
+
+    shards = [
+        ScanResult(probes_sent=10, protocol="http"),
+        ScanResult(probes_sent=10, protocol=None),
+        ScanResult(probes_sent=10, protocol="ssh"),
+    ]
+    with pytest.raises(ValueError) as excinfo:
+        merge_results(shards, batch_size=64)
+    message = str(excinfo.value)
+    assert "'http'" in message and "'ssh'" in message
+    # A None protocol alongside one real protocol is *not* a conflict.
+    merged = merge_results(shards[:2], batch_size=64)
+    assert merged.protocol == "http"
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        # 4098 = 4099 - 1 with 4099 prime: the dense p - 1 == n fast
+        # path, where batches are derived straight from the walk's
+        # preallocated multiply buffer.
+        4098,
+        # Two intervals: the sparse path (`values <= n` filter copy).
+        (np.array([0, 10000]), np.array([4096, 12000])),
+    ],
+    ids=["dense", "sparse"],
+)
+def test_interleaved_walks_are_immune_to_batch_sorting(spec):
+    """``batches``'s in-place ``values.sort()`` must never corrupt state
+    aliased with the memoized/preallocated :class:`CyclicPermutation`
+    buffers (the PR-4 fast paths).
+
+    Two interleaved walks over the same modulus share one memoized
+    power table; each must still reproduce its own fresh,
+    uninterleaved drain exactly.
+    """
+    interleaved: dict[str, list] = {"a": [], "b": []}
+    live = {
+        "a": IntervalTargets(spec, seed=1).batches(512),
+        "b": IntervalTargets(spec, seed=2).batches(512),
+    }
+    while live:
+        for name, gen in list(live.items()):
+            batch = next(gen, None)
+            if batch is None:
+                del live[name]
+            else:
+                interleaved[name].append(batch.copy())
+
+    for name, seed in (("a", 1), ("b", 2)):
+        fresh = list(IntervalTargets(spec, seed=seed).batches(512))
+        assert len(fresh) == len(interleaved[name])
+        for left, right in zip(fresh, interleaved[name]):
+            assert np.array_equal(left, right), name
