@@ -16,7 +16,15 @@ Knobs:
 - ``REPRO_COUNT_BACKEND`` — a counting backend registered in
   :mod:`repro.bgp.backends`;
 - ``REPRO_DIST_WORKERS``  — worker-process count for the
-  ``distributed`` executor (default: one per shard, CPU-capped).
+  ``distributed`` executor (default: one per shard, CPU-capped);
+- ``REPRO_FAULT_PLAN``    — declarative chaos plan for the distributed
+  executor (:mod:`repro.scan.faults` syntax, e.g. ``crash@2,hang@0``);
+- ``REPRO_DIST_SHARD_DEADLINE`` — per-shard attempt deadline in seconds
+  before speculative re-dispatch (default 30; ``0`` disables);
+- ``REPRO_DIST_RESPAWN_BASE``   — base of the exponential respawn
+  backoff in seconds (default 0.05; ``0`` disables the backoff);
+- ``REPRO_DIST_CRASH_LOOP``     — consecutive spawn-side failures that
+  declare a crash loop and degrade the fleet (default 3).
 """
 
 from __future__ import annotations
@@ -28,17 +36,29 @@ __all__ = [
     "ENV_SCAN_EXECUTOR",
     "ENV_COUNT_BACKEND",
     "ENV_DIST_WORKERS",
+    "ENV_FAULT_PLAN",
+    "ENV_DIST_SHARD_DEADLINE",
+    "ENV_DIST_RESPAWN_BASE",
+    "ENV_DIST_CRASH_LOOP",
     "EXECUTORS",
     "scan_shards",
     "scan_executor",
     "count_backend",
     "dist_workers",
+    "fault_plan",
+    "dist_shard_deadline",
+    "dist_respawn_base",
+    "dist_crash_loop_threshold",
 ]
 
 ENV_SCAN_SHARDS = "REPRO_SCAN_SHARDS"
 ENV_SCAN_EXECUTOR = "REPRO_SCAN_EXECUTOR"
 ENV_COUNT_BACKEND = "REPRO_COUNT_BACKEND"
 ENV_DIST_WORKERS = "REPRO_DIST_WORKERS"
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+ENV_DIST_SHARD_DEADLINE = "REPRO_DIST_SHARD_DEADLINE"
+ENV_DIST_RESPAWN_BASE = "REPRO_DIST_RESPAWN_BASE"
+ENV_DIST_CRASH_LOOP = "REPRO_DIST_CRASH_LOOP"
 
 
 def _executor_choices() -> tuple[str, ...]:
@@ -125,6 +145,81 @@ def dist_workers(explicit=None) -> int | None:
     if value < 1:
         raise ValueError(
             f"distributed workers must be >= 1, got {value} "
+            f"(from {source})"
+        )
+    return value
+
+
+def fault_plan(explicit=None):
+    """The validated chaos :class:`~repro.scan.faults.FaultPlan`.
+
+    ``explicit`` may be a plan string or an existing ``FaultPlan``;
+    otherwise ``$REPRO_FAULT_PLAN`` is parsed; with neither, the empty
+    plan (no injected faults).  Syntax errors raise :class:`ValueError`
+    naming the source.
+    """
+    # Imported lazily: the fault plane lives in the scan layer, which
+    # imports this module for the other knobs.
+    from repro.scan.faults import FaultPlan
+
+    if isinstance(explicit, FaultPlan):
+        return explicit
+    raw, source = _resolve(explicit, ENV_FAULT_PLAN, None)
+    try:
+        return FaultPlan.parse(raw)
+    except ValueError as exc:
+        raise ValueError(f"bad fault plan (from {source}): {exc}") from None
+
+
+def _positive_float(raw, source, knob, *, zero_ok=False):
+    try:
+        value = float(str(raw).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{knob} must be a number, got {raw!r} (from {source})"
+        ) from None
+    if value < 0 or (value == 0 and not zero_ok):
+        raise ValueError(
+            f"{knob} must be {'>= 0' if zero_ok else '> 0'}, got "
+            f"{value} (from {source})"
+        )
+    return value
+
+
+def dist_shard_deadline(explicit=None) -> float | None:
+    """Per-shard attempt deadline in seconds, or ``None`` when disabled.
+
+    ``explicit`` wins over ``$REPRO_DIST_SHARD_DEADLINE`` over the
+    default of 30 s.  A shard held past its deadline is speculatively
+    re-dispatched to an idle worker; ``0`` disables the deadline (only
+    the coordinator's global no-progress timeout then applies).
+    """
+    raw, source = _resolve(explicit, ENV_DIST_SHARD_DEADLINE, 30.0)
+    value = _positive_float(
+        raw, source, "shard deadline", zero_ok=True
+    )
+    return value or None
+
+
+def dist_respawn_base(explicit=None) -> float:
+    """Base (seconds) of the exponential worker-respawn backoff."""
+    raw, source = _resolve(explicit, ENV_DIST_RESPAWN_BASE, 0.05)
+    return _positive_float(raw, source, "respawn base", zero_ok=True)
+
+
+def dist_crash_loop_threshold(explicit=None) -> int:
+    """Consecutive spawn-side failures that declare a crash loop."""
+    raw, source = _resolve(explicit, ENV_DIST_CRASH_LOOP, 3)
+    try:
+        value = int(str(raw).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"crash-loop threshold must be a positive integer, got "
+            f"{raw!r} (from {source})"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"crash-loop threshold must be >= 1, got {value} "
             f"(from {source})"
         )
     return value

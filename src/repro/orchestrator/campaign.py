@@ -39,7 +39,8 @@ from repro.orchestrator.waves import (
 )
 from repro.scan.blocklist import default_blocklist
 from repro.scan.engine import EngineConfig, ScanResult
-from repro.scan.executors import executor_supports_wrap
+from repro.scan.executors import ExecutorFailure, executor_supports_wrap
+from repro.scan.faults import backoff_delay
 from repro.scan.sharded import run_sharded
 
 __all__ = [
@@ -51,6 +52,13 @@ __all__ = [
 ]
 
 _VIEWS = (LESS_SPECIFIC, MORE_SPECIFIC)
+
+#: Ceiling on one wave-retry backoff sleep, whatever the base.
+_RETRY_BACKOFF_CAP = 30.0
+
+#: Wall-clock sleep between wave retries (module-level so deterministic
+#: tests can stub it out; the sleep is telemetry-side, never state).
+_retry_sleep = time.sleep
 
 
 @dataclass(frozen=True)
@@ -82,6 +90,16 @@ class CampaignSpec:
     probes_per_sec: float | None = None
     use_blocklist: bool = False
     scan_seed: int = 0
+    #: Bounded retries when the executor's infrastructure collapses
+    #: mid-wave (:class:`~repro.scan.executors.ExecutorFailure`): the
+    #: wave re-runs from its last checkpointed shard, up to this many
+    #: times, before the failure propagates.  The attempt counter is
+    #: checkpointed, so a killed-and-resumed campaign replays the same
+    #: remaining retry budget.
+    wave_retries: int = 0
+    #: Base (seconds) of the deterministic exponential backoff slept
+    #: between wave retries (wall-clock only; never part of state).
+    wave_retry_backoff: float = 0.5
 
     def __post_init__(self):
         if not self.name:
@@ -102,6 +120,10 @@ class CampaignSpec:
             raise ValueError("probe_budget must be >= 0")
         if self.probes_per_sec is not None and self.probes_per_sec <= 0:
             raise ValueError("probes_per_sec must be > 0")
+        if self.wave_retries < 0:
+            raise ValueError("wave_retries must be >= 0")
+        if self.wave_retry_backoff < 0:
+            raise ValueError("wave_retry_backoff must be >= 0")
 
     def resolved(self) -> "CampaignSpec":
         """Pin the shard/executor/backend knobs (argument > env > default).
@@ -173,6 +195,8 @@ class _State:
     shard: int = 0
     wave_planned: bool = False
     wave_reseeded: bool = False
+    #: Failed executor attempts for the in-flight wave (0 once done).
+    wave_attempts: int = 0
     records: list = field(default_factory=list)
     shard_results: list = field(default_factory=list)
     mask: np.ndarray | None = None
@@ -213,6 +237,9 @@ class CampaignRunner:
         self._rng = np.random.default_rng([self.spec.scan_seed, 0x5EED])
         self._on_checkpoint = None
         self._pace = True
+        # Wall-clock telemetry only (progress.json), never state: the
+        # deterministic retry position lives in _State.wave_attempts.
+        self._retries_used = 0
 
     # -- construction from disk ---------------------------------------
 
@@ -239,6 +266,7 @@ class CampaignRunner:
         state.shard = manifest["shard"]
         state.wave_planned = manifest["wave_planned"]
         state.wave_reseeded = manifest["wave_reseeded"]
+        state.wave_attempts = manifest.get("wave_attempts", 0)
         state.records = [
             WaveRecord.from_dict(r) for r in manifest["records"]
         ]
@@ -273,6 +301,7 @@ class CampaignRunner:
             "shard": state.shard,
             "wave_planned": state.wave_planned,
             "wave_reseeded": state.wave_reseeded,
+            "wave_attempts": state.wave_attempts,
             "records": [r.to_dict() for r in state.records],
             "shard_results": [
                 [r.probes_sent, r.responses, r.blocked, r.batches]
@@ -309,6 +338,7 @@ class CampaignRunner:
                 "achieved_probes_per_sec": (
                     pacer.achieved_rate if pacer is not None else None
                 ),
+                "wave_retries_used": self._retries_used,
                 "finished": self.state.finished,
             }
         )
@@ -408,24 +438,49 @@ class CampaignRunner:
             manifest = self._checkpoint()
             self._progress(pacer, manifest=manifest)
 
-        # Shards already drained by an interrupted run stay in place;
-        # on_shard appends the remainder, so every checkpoint carries
-        # the full in-flight wave.
-        completed = list(state.shard_results)
-        sharded = run_sharded(
-            self._wave_targets(),
-            snapshot.addresses,
-            shards=spec.shards,
-            executor=spec.executor,
-            config=EngineConfig(batch_size=spec.batch_size),
-            blocklist=self.blocklist,
-            protocol=spec.protocol,
-            # A distinct probe order per wave, deterministic in the spec.
-            seed=spec.scan_seed + plan.wave,
-            on_shard=on_shard,
-            completed=completed,
-            wrap_targets=wrap,
-        )
+        # Wave-level retry: an executor whose *infrastructure* collapsed
+        # (ExecutorFailure — a tripped failure budget, a crash-looped
+        # fleet, a progress stall) is retried with bounded deterministic
+        # backoff instead of aborting the campaign.  Shards already
+        # drained by an interrupted run — or by a failed attempt — stay
+        # in place: on_shard checkpointed them, so each retry re-scans
+        # only the remainder and the merged results stay byte-identical.
+        # The attempt counter itself is checkpointed, so a campaign
+        # killed between retries resumes with the same remaining budget.
+        while True:
+            completed = list(state.shard_results)
+            try:
+                sharded = run_sharded(
+                    self._wave_targets(),
+                    snapshot.addresses,
+                    shards=spec.shards,
+                    executor=spec.executor,
+                    config=EngineConfig(batch_size=spec.batch_size),
+                    blocklist=self.blocklist,
+                    protocol=spec.protocol,
+                    # A distinct probe order per wave, deterministic in
+                    # the spec.
+                    seed=spec.scan_seed + plan.wave,
+                    on_shard=on_shard,
+                    completed=completed,
+                    wrap_targets=wrap,
+                )
+                break
+            except ExecutorFailure:
+                state.wave_attempts += 1
+                self._retries_used += 1
+                manifest = self._checkpoint()
+                self._progress(pacer, manifest=manifest)
+                if state.wave_attempts > spec.wave_retries:
+                    raise
+                _retry_sleep(
+                    backoff_delay(
+                        state.wave_attempts,
+                        spec.wave_retry_backoff,
+                        _RETRY_BACKOFF_CAP,
+                    )
+                )
+        state.wave_attempts = 0
         # on_shard only sees newly drained shards; make the state whole.
         state.shard_results = list(sharded.shard_results)
         state.shard = len(state.shard_results)

@@ -31,7 +31,10 @@ def _fsync_path(path: Path) -> None:
         os.close(fd)
 
 #: Bump when the manifest/array schema changes shape.
-CHECKPOINT_VERSION = 1
+#: v2: the manifest carries ``wave_attempts`` (the in-flight wave's
+#: failed executor attempts), so a resumed campaign replays the
+#: wave-level retry budget byte-identically.
+CHECKPOINT_VERSION = 2
 
 _MANIFEST_KEY = "manifest"
 

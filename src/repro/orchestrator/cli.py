@@ -79,6 +79,21 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--probes-per-sec", type=float, default=None)
     plan.add_argument("--use-blocklist", action="store_true")
     plan.add_argument("--scan-seed", type=int, default=0)
+    plan.add_argument(
+        "--wave-retries",
+        type=int,
+        default=0,
+        help="bounded retries when the executor's infrastructure "
+        "collapses mid-wave; each retry resumes from the last "
+        "checkpointed shard",
+    )
+    plan.add_argument(
+        "--wave-retry-backoff",
+        type=float,
+        default=0.5,
+        help="base seconds of the deterministic exponential backoff "
+        "slept between wave retries",
+    )
 
     run = sub.add_parser(
         "run", help="execute the planned campaign from scratch"
@@ -142,6 +157,8 @@ def _spec_from_args(args) -> CampaignSpec:
         probes_per_sec=args.probes_per_sec,
         use_blocklist=args.use_blocklist,
         scan_seed=args.scan_seed,
+        wave_retries=args.wave_retries,
+        wave_retry_backoff=args.wave_retry_backoff,
     ).resolved()
 
 

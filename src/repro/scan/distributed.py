@@ -16,24 +16,48 @@ Protocol (all frames are ``>I``-length-prefixed UTF-8 JSON):
   batch size, protocol, and the shared shard geometry
   (``starts``/``ends``/``seed``/``shards``) — sent once per worker.
 - ``shard``    coordinator → worker: ``{"type": "shard", "shard": i}``
-  — drain the ``i``-th sub-walk of the init geometry.
+  — drain the ``i``-th sub-walk of the init geometry.  May carry a
+  ``fault`` object when a chaos plan armed one for this attempt.
 - ``result``   worker → coordinator: the shard's ``ScanResult`` counters.
 - ``shutdown`` coordinator → worker: drain done, exit cleanly.
 
 Determinism and failure semantics: every shard's ``ScanResult`` is a
 pure function of the shard description, so *which* worker drains a
-shard (or how often it is retried) never changes the outcome.  The
-coordinator re-queues the outstanding shard of any worker that dies,
-spawns a replacement, and releases results strictly in shard order —
-so the orchestrator's ``on_shard`` checkpoint stream (and therefore
-kill-and-resume byte-identity) is preserved across worker failures.
+shard (or how often it is retried, or whether two workers race it)
+never changes the outcome.  The coordinator survives the full chaos
+matrix of :mod:`repro.scan.faults`:
+
+- a worker that **dies** (mid-shard, mid-result, or before saying
+  hello) has its shard re-queued and a replacement spawned;
+- a worker that sends a **malformed, truncated, or oversized frame**
+  is dropped — just that worker — and charged to the failure budget;
+- a worker that **hangs or stalls** past the per-shard attempt
+  deadline has its shard *speculatively re-dispatched* to an idle
+  worker; the first result wins, late duplicates are discarded, and a
+  worker far past its deadline is killed outright;
+- **respawns back off exponentially** (deterministic, no jitter), and
+  a crash-looping replacement fleet trips a detector that *degrades*
+  the fleet — the wave finishes on the survivors instead of
+  tight-loop respawning, surfaced in :attr:`Coordinator.telemetry`;
+- only when no worker remains and none can be spawned does the run
+  abort, with a bounded tail of each dead worker's stderr in the
+  error message.
+
+Throughout, results are released strictly in shard order, so the
+orchestrator's ``on_shard`` checkpoint stream (and therefore
+kill-and-resume byte-identity) is preserved under every fault.
 
 Knobs: ``REPRO_DIST_WORKERS`` (worker count; default one per shard
-capped at the CPU count).  Test-only fault injection:
+capped at the CPU count), ``REPRO_FAULT_PLAN`` (declarative fault
+injection; see :mod:`repro.scan.faults`), ``REPRO_DIST_SHARD_DEADLINE``
+(per-shard attempt deadline, default 30 s; 0 disables),
+``REPRO_DIST_RESPAWN_BASE`` / ``REPRO_DIST_CRASH_LOOP`` (respawn
+backoff base and crash-loop threshold).  Legacy fault injection:
 ``REPRO_DIST_FAIL_SHARDS`` (comma-separated shard indices whose first
-assigned worker dies mid-shard) and ``REPRO_DIST_SHARD_DELAY``
-(seconds each worker sleeps per shard, to make smoke-test kill windows
-deterministic); neither changes any result.
+assigned worker dies mid-shard — sugar for ``crash@i`` plan entries)
+and ``REPRO_DIST_SHARD_DELAY`` (seconds each worker sleeps per shard,
+to make smoke-test kill windows deterministic); none of these change
+any result.
 """
 
 from __future__ import annotations
@@ -47,14 +71,26 @@ import socket
 import struct
 import subprocess
 import sys
+import tempfile
 import time
 from collections import deque
 from pathlib import Path
 
 import numpy as np
 
+from repro.env import (
+    dist_crash_loop_threshold,
+    dist_respawn_base,
+    dist_shard_deadline,
+    fault_plan as _env_fault_plan,
+)
 from repro.scan.engine import ScanResult
-from repro.scan.executors import build_worker, register_executor
+from repro.scan.executors import (
+    ExecutorFailure,
+    build_worker,
+    register_executor,
+)
+from repro.scan.faults import FaultPlan, RespawnGovernor, deadline_action
 
 __all__ = [
     "ENV_FAIL_SHARDS",
@@ -72,6 +108,27 @@ ENV_SHARD_DELAY = "REPRO_DIST_SHARD_DELAY"
 _HEADER = struct.Struct(">I")
 #: Frame-size sanity cap: a corrupt length prefix must not allocate GBs.
 MAX_FRAME = 1 << 30
+
+#: At most one speculative copy of a shard races the original attempt.
+_MAX_SPECULATION = 2
+#: A worker this many deadlines past dispatch is killed, not raced.
+_HARD_KILL_FACTOR = 3.0
+#: Bytes of each dead worker's stderr kept for the failure report.
+_STDERR_TAIL_BYTES = 512
+
+#: Worker exit codes, one per injected death (diagnosable from `ps`).
+_EXIT_CRASH = 17
+_EXIT_TRUNCATE = 18
+_EXIT_OVERSIZE = 19
+_EXIT_MID_RESULT = 20
+_EXIT_SPAWN = 21
+
+#: "Forever" for a hung worker; the coordinator kills it long before.
+_HANG_SECONDS = 3600.0
+_DEFAULT_STALL = 1.0
+
+#: Constructor sentinel: resolve the knob from the environment.
+_ENV = object()
 
 
 # ---------------------------------------------------------------------------
@@ -104,8 +161,18 @@ class FrameStream:
         payload = json.dumps(message).encode()
         self.sock.sendall(_HEADER.pack(len(payload)) + payload)
 
+    def send_raw(self, data: bytes) -> None:
+        """Ship pre-framed (possibly malformed) bytes — fault injection."""
+        self.sock.sendall(data)
+
     def recv(self) -> dict | None:
-        """The next frame, or ``None`` on a clean EOF."""
+        """The next frame, or ``None`` on a clean EOF.
+
+        Raises :class:`ValueError` (which includes
+        :class:`json.JSONDecodeError` and :class:`UnicodeDecodeError`)
+        on an oversized length prefix or a non-JSON body — the caller
+        decides whether that kills the connection or the process.
+        """
         header = self._read_exact(_HEADER.size)
         if header is None:
             return None
@@ -148,12 +215,13 @@ def _parse_fail_shards(raw: str | None) -> frozenset:
 class _Worker:
     """One connected worker: its stream, process, and assigned shard."""
 
-    __slots__ = ("stream", "pid", "assigned")
+    __slots__ = ("stream", "pid", "assigned", "assigned_at")
 
     def __init__(self, stream: FrameStream, pid: int):
         self.stream = stream
         self.pid = pid
         self.assigned = None  # local queue index, or None when idle
+        self.assigned_at = 0.0  # coordinator clock at dispatch
 
 
 class Coordinator:
@@ -162,11 +230,27 @@ class Coordinator:
     ``worker_args`` is the ``(responsive_values, batch_size,
     block_state, protocol)`` tuple shared by every executor.
     ``workers=None`` spawns one worker per shard, capped at the CPU
-    count.  ``fail_shards`` (default: ``$REPRO_DIST_FAIL_SHARDS``)
-    injects one worker death per listed shard index — replacements are
-    spawned clean, so the shard is re-queued and drained successfully;
-    ``fail_every_spawn=True`` arms replacements too, which exhausts the
-    failure budget and surfaces the RuntimeError path.
+    count.
+
+    Chaos and recovery knobs (each defaults to its ``repro.env``
+    resolution, so env vars apply unless a test passes a value):
+
+    - ``fault_plan`` — a :class:`~repro.scan.faults.FaultPlan` (or plan
+      string) of injected faults; default ``$REPRO_FAULT_PLAN``.  The
+      legacy ``fail_shards`` / ``fail_every_spawn`` parameters (and
+      ``$REPRO_DIST_FAIL_SHARDS``) are folded in as ``crash@i``
+      entries.
+    - ``shard_deadline`` — seconds one attempt may hold a shard before
+      it is speculatively re-dispatched to an idle worker (first
+      result wins, duplicates discarded); ``None`` disables.
+    - ``respawn_base`` / ``crash_loop_threshold`` — exponential-backoff
+      base for replacement spawns and the consecutive spawn-failure
+      count that degrades the fleet to its survivors.
+    - ``timeout`` — the global no-progress watchdog (backstop).
+
+    After (or during) a run, :attr:`telemetry` reports failures,
+    respawns, speculative re-dispatches, discarded duplicates, and
+    whether the fleet degraded.
     """
 
     def __init__(
@@ -176,17 +260,58 @@ class Coordinator:
         fail_shards=None,
         fail_every_spawn: bool = False,
         timeout: float = 120.0,
+        fault_plan=None,
+        shard_deadline=_ENV,
+        respawn_base=_ENV,
+        crash_loop_threshold=_ENV,
+        clock=time.monotonic,
     ):
         self.worker_args = worker_args
         self.workers = workers
-        self.fail_shards = (
+        legacy = (
             frozenset(fail_shards)
             if fail_shards is not None
             else _parse_fail_shards(os.environ.get(ENV_FAIL_SHARDS))
         )
-        self.fail_every_spawn = fail_every_spawn
+        plan = _env_fault_plan(fault_plan)
+        if legacy:
+            plan = plan.merged_with(
+                FaultPlan.crash_shards(
+                    legacy, every_attempt=fail_every_spawn
+                )
+            )
+        self.fault_plan = plan
+        self.shard_deadline = (
+            dist_shard_deadline()
+            if shard_deadline is _ENV
+            else shard_deadline
+        )
         self.timeout = timeout
+        self._governor = RespawnGovernor(
+            base=(
+                dist_respawn_base()
+                if respawn_base is _ENV
+                else respawn_base
+            ),
+            crash_loop_threshold=(
+                dist_crash_loop_threshold()
+                if crash_loop_threshold is _ENV
+                else crash_loop_threshold
+            ),
+        )
+        self._clock = clock
         self.failures = 0
+        self.telemetry = {
+            "failures": 0,
+            "respawns": 0,
+            "faults_armed": 0,
+            "speculative_requeues": 0,
+            "duplicates_discarded": 0,
+            "deadline_kills": 0,
+            "degraded": False,
+            "fleet_initial": 0,
+            "survivors": None,
+        }
         self._listener = None
         self._selector = None
         self._procs: dict[int, subprocess.Popen] = {}
@@ -194,6 +319,16 @@ class Coordinator:
         self._live: list[_Worker] = []
         self._init_message = None
         self._targets = ()
+        self._results: dict[int, ScanResult] = {}
+        self._attempts: dict[int, int] = {}
+        self._max_failures = 8
+        self._last_failure = ""
+        self._spawn_ordinal = 0
+        self._spawn_backlog = 0
+        self._next_spawn_at = 0.0
+        self._degraded = False
+        self._stderr_files: dict[int, object] = {}
+        self._stderr_tails: deque = deque(maxlen=8)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -218,13 +353,27 @@ class Coordinator:
         if self._listener is not None:
             self._listener.close()
             self._listener = None
+        # One short shared grace for clean exits, then escalate: a hung
+        # worker must not stall teardown for 5 s apiece — every result
+        # is already durable, so killing laggards loses nothing.
+        grace = time.monotonic() + 1.0
         for proc in self._procs.values():
             try:
-                proc.wait(timeout=5.0)
+                proc.wait(timeout=max(0.0, grace - time.monotonic()))
             except subprocess.TimeoutExpired:
-                proc.kill()
-                proc.wait()
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
         self._procs = {}
+        for fh in self._stderr_files.values():
+            try:
+                fh.close()
+            except OSError:
+                pass
+        self._stderr_files = {}
         self._connected = set()
 
     # -- spawning ------------------------------------------------------
@@ -239,11 +388,10 @@ class Coordinator:
             "--connect",
             f"127.0.0.1:{port}",
         ]
-        if self.fail_shards and (first_generation or self.fail_every_spawn):
-            argv += [
-                "--fail-shards",
-                ",".join(str(s) for s in sorted(self.fail_shards)),
-            ]
+        ordinal = self._spawn_ordinal
+        self._spawn_ordinal += 1
+        if self.fault_plan.spawn_fault(ordinal) is not None:
+            argv.append("--die-at-spawn")
         env = dict(os.environ)
         # Make the repro package importable in the child regardless of
         # how this process found it (installed, PYTHONPATH, or src/).
@@ -253,24 +401,105 @@ class Coordinator:
             env["PYTHONPATH"] = (
                 pkg_root + (os.pathsep + path if path else "")
             )
-        proc = subprocess.Popen(
-            argv, env=env, stdout=subprocess.DEVNULL
-        )
+        stderr = tempfile.TemporaryFile()
+        try:
+            proc = subprocess.Popen(
+                argv, env=env, stdout=subprocess.DEVNULL, stderr=stderr
+            )
+        except OSError as exc:
+            # ENOMEM, a missing interpreter, fd exhaustion: a spawn
+            # failure is a worker failure, not a coordinator crash —
+            # charge the budget and retry through the backoff path.
+            stderr.close()
+            self._governor.record_failure()
+            self._fail(f"spawn of worker ordinal {ordinal} raised {exc}")
+            self._request_spawn()
+            return
+        if not first_generation:
+            self._governor.record_respawn()
+            self.telemetry["respawns"] += 1
         self._procs[proc.pid] = proc
+        self._stderr_files[proc.pid] = stderr
+
+    def _request_spawn(self) -> None:
+        """Ask for one replacement; honored by :meth:`_pump_spawns`."""
+        if not self._degraded:
+            self._spawn_backlog += 1
+
+    def _pump_spawns(self) -> None:
+        """Spawn owed replacements, backoff-paced; degrade on crash loop."""
+        if not self._spawn_backlog or self._degraded:
+            return
+        if self._governor.in_crash_loop:
+            self._enter_degraded()
+            return
+        now = self._clock()
+        if now < self._next_spawn_at:
+            return
+        self._spawn_backlog -= 1
+        self._next_spawn_at = now + self._governor.delay()
+        self._spawn(first_generation=False)
+
+    def _enter_degraded(self) -> None:
+        """Crash loop: stop respawning, finish on the survivors."""
+        self._degraded = True
+        self._spawn_backlog = 0
+        self.telemetry["degraded"] = True
+        self.telemetry["survivors"] = len(self._live)
+        sys.stderr.write(
+            "repro.scan.distributed: crash loop detected after "
+            f"{self._governor.failures} consecutive spawn failures; "
+            f"degrading fleet to {len(self._live)} surviving worker(s)\n"
+        )
+
+    # -- stderr attribution --------------------------------------------
+
+    def _stderr_tail(self, pid: int) -> None:
+        """Bank the last bytes of a dead worker's stderr for the report."""
+        fh = self._stderr_files.pop(pid, None)
+        if fh is None:
+            return
+        try:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            fh.seek(max(0, size - _STDERR_TAIL_BYTES))
+            tail = fh.read().decode(errors="replace").strip()
+        except (OSError, ValueError):
+            tail = ""
+        finally:
+            fh.close()
+        if tail:
+            self._stderr_tails.append(f"pid {pid}: {tail}")
+
+    def _stderr_report(self) -> str:
+        if not self._stderr_tails:
+            return ""
+        return "\nworker stderr tails:\n" + "\n".join(
+            f"  {tail}" for tail in self._stderr_tails
+        )
 
     # -- event handling ------------------------------------------------
 
     def _fail(self, message: str) -> None:
         self.failures += 1
+        self.telemetry["failures"] = self.failures
+        self._last_failure = message
         if self.failures > self._max_failures:
-            raise RuntimeError(
+            raise ExecutorFailure(
                 f"distributed executor: too many worker failures "
                 f"({self.failures}); last: {message}"
+                + self._stderr_report()
             )
+
+    def _needs_requeue(self, index: int, pending: deque) -> bool:
+        """Is nobody else (result, queue, live worker) covering ``index``?"""
+        if index in self._results or index in pending:
+            return False
+        return not any(w.assigned == index for w in self._live)
 
     def _drop_worker(self, worker: _Worker, pending: deque,
                      reason: str) -> None:
-        """A worker died: re-queue its shard and count the failure."""
+        """A worker died or misbehaved: re-queue its shard, count it."""
         if worker in self._live:
             self._live.remove(worker)
         try:
@@ -281,8 +510,8 @@ class Coordinator:
         proc = self._procs.pop(worker.pid, None)
         if proc is not None:
             # Usually the process is already dead (that's why the drop
-            # happened); a protocol-violating survivor is terminated so
-            # the reap below cannot block the event loop.
+            # happened); a protocol-violating or hung survivor is
+            # terminated so the reap below cannot block the event loop.
             if proc.poll() is None:
                 proc.terminate()
             try:
@@ -290,12 +519,13 @@ class Coordinator:
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait()
+        self._stderr_tail(worker.pid)
         requeued = worker.assigned
-        if requeued is not None:
+        worker.assigned = None
+        if requeued is not None and self._needs_requeue(requeued, pending):
             # Front of the queue: the lost shard is the next dispatch,
             # keeping the in-order release window as small as possible.
             pending.appendleft(requeued)
-            worker.assigned = None
         self._fail(
             f"worker pid {worker.pid} {reason}"
             + (f" while draining queue slot {requeued}" if requeued
@@ -308,19 +538,32 @@ class Coordinator:
                 break
             self._dispatch(idle, pending, self._targets)
         if pending:
-            self._spawn(first_generation=False)
+            self._request_spawn()
 
     def _dispatch(self, worker: _Worker, pending: deque, targets) -> None:
         if worker.assigned is not None or not pending:
             return
+        # Skip queue entries whose result already landed (a speculative
+        # copy that lost the race before ever being dispatched).
+        while pending and pending[0] in self._results:
+            pending.popleft()
+        if not pending:
+            return
         index = pending.popleft()
+        shard_no = int(targets[index].shard)
+        attempt = self._attempts.get(index, 0)
+        message = {"type": "shard", "shard": shard_no, "index": index}
+        spec = self.fault_plan.shard_fault(shard_no, attempt)
+        if spec is not None:
+            message["fault"] = {"kind": spec.kind, "delay": spec.delay}
+            self.telemetry["faults_armed"] += 1
+        self._attempts[index] = attempt + 1
         try:
-            worker.stream.send(
-                {"type": "shard", "shard": int(targets[index].shard),
-                 "index": index}
-            )
+            worker.stream.send(message)
             worker.assigned = index
+            worker.assigned_at = self._clock()
         except OSError:
+            self._attempts[index] = attempt  # never actually dispatched
             pending.appendleft(index)
             self._drop_worker(worker, pending, "died at dispatch")
 
@@ -335,13 +578,16 @@ class Coordinator:
         stream = FrameStream(sock)
         try:
             hello = stream.recv()
-        except OSError:
+        except (OSError, ValueError):
+            # A garbled hello is the connecting peer's failure, not the
+            # coordinator's: drop the connection, keep the event loop.
             hello = None
-        if hello is None or hello.get("type") != "hello":
+        if not isinstance(hello, dict) or hello.get("type") != "hello":
             stream.close()
-            self._fail("worker connected without a hello")
+            self._governor.record_failure()
+            self._fail("worker connected without a valid hello")
             if pending:
-                self._spawn(first_generation=False)
+                self._request_spawn()
             return
         worker = _Worker(stream, int(hello.get("pid", -1)))
         self._connected.add(worker.pid)
@@ -351,10 +597,12 @@ class Coordinator:
             # The pid is already marked connected, so _reap_unconnected
             # will never replace this worker — do it here.
             stream.close()
+            self._governor.record_failure()
             self._fail(f"worker pid {worker.pid} died at init")
             if pending:
-                self._spawn(first_generation=False)
+                self._request_spawn()
             return
+        self._governor.record_success()
         self._live.append(worker)
         self._selector.register(sock, selectors.EVENT_READ, worker)
         self._dispatch(worker, pending, targets)
@@ -365,7 +613,14 @@ class Coordinator:
         try:
             message = worker.stream.recv()
         except (OSError, ValueError) as exc:
-            self._drop_worker(worker, pending, f"errored ({exc})")
+            # ValueError covers the whole malformed-frame family: an
+            # oversized length prefix, a non-JSON body
+            # (json.JSONDecodeError), and undecodable bytes
+            # (UnicodeDecodeError).  One bad frame costs one worker,
+            # never the run.
+            self._drop_worker(
+                worker, pending, f"sent an unreadable frame ({exc})"
+            )
             return False
         if message is None:
             if worker.assigned is None and not pending:
@@ -380,10 +635,13 @@ class Coordinator:
                 return False
             self._drop_worker(worker, pending, "hung up")
             return False
-        if message.get("type") != "result":
+        if not isinstance(message, dict) or message.get("type") != "result":
+            kind = (
+                message.get("type") if isinstance(message, dict)
+                else type(message).__name__
+            )
             self._drop_worker(
-                worker, pending,
-                f"sent unexpected {message.get('type')!r}",
+                worker, pending, f"sent unexpected {kind!r}"
             )
             return False
         index = worker.assigned
@@ -396,6 +654,14 @@ class Coordinator:
             )
             return False
         worker.assigned = None
+        if index in results:
+            # A speculative race this worker lost: the shard already
+            # completed elsewhere.  Both results are byte-identical by
+            # construction, so the duplicate is simply discarded and
+            # the worker goes back to useful work.
+            self.telemetry["duplicates_discarded"] += 1
+            self._dispatch(worker, pending, targets)
+            return False
         results[index] = ScanResult(
             probes_sent=int(message["probes_sent"]),
             responses=int(message["responses"]),
@@ -411,12 +677,62 @@ class Coordinator:
         for pid, proc in list(self._procs.items()):
             if pid not in self._connected and proc.poll() is not None:
                 del self._procs[pid]
+                self._stderr_tail(pid)
+                self._governor.record_failure()
                 self._fail(
                     f"worker pid {pid} exited with {proc.returncode} "
                     "before connecting"
                 )
                 if pending:
-                    self._spawn(first_generation=False)
+                    self._request_spawn()
+
+    def _check_deadlines(self, pending: deque, targets) -> None:
+        """Rescue shards held past their deadline by hung/slow workers."""
+        deadline = self.shard_deadline
+        if deadline is None:
+            return
+        now = self._clock()
+        for worker in list(self._live):
+            index = worker.assigned
+            if index is None:
+                continue
+            action = deadline_action(
+                now, worker.assigned_at, deadline, _HARD_KILL_FACTOR
+            )
+            if action == "ok":
+                continue
+            if action == "kill":
+                # Far past the deadline the worker is presumed hung;
+                # reclaim its process (its shard re-queues if nobody
+                # else covered it).
+                self.telemetry["deadline_kills"] += 1
+                self._drop_worker(
+                    worker, pending,
+                    f"held a shard {now - worker.assigned_at:.1f}s "
+                    f"(deadline {deadline:.1f}s)",
+                )
+                continue
+            if index in self._results or index in pending:
+                continue
+            live_copies = sum(
+                1 for w in self._live if w.assigned == index
+            )
+            if live_copies >= _MAX_SPECULATION:
+                continue
+            # Speculative re-dispatch: race a second attempt on an idle
+            # worker.  First completed result wins; the loser's frame
+            # is discarded in _on_readable.  In-order release and every
+            # merged byte are unchanged — shard results are pure.
+            pending.appendleft(index)
+            self.telemetry["speculative_requeues"] += 1
+            for idle in list(self._live):
+                if not pending:
+                    break
+                self._dispatch(idle, pending, targets)
+            if pending and not any(
+                w.assigned is None for w in self._live
+            ):
+                self._request_spawn()
 
     # -- the drive loop ------------------------------------------------
 
@@ -456,7 +772,7 @@ class Coordinator:
         }
         self._max_failures = max(8, 2 * len(targets))
         pending = deque(range(len(targets)))
-        results: dict[int, ScanResult] = {}
+        results = self._results = {}
         next_emit = 0
 
         self._listener = socket.socket()
@@ -469,32 +785,58 @@ class Coordinator:
         n_workers = self.workers or min(
             len(targets), os.cpu_count() or 1
         )
-        for _ in range(max(1, min(n_workers, len(targets)))):
+        fleet = max(1, min(n_workers, len(targets)))
+        self.telemetry["fleet_initial"] = fleet
+        for _ in range(fleet):
             self._spawn(first_generation=True)
 
-        last_progress = time.monotonic()
+        last_progress = self._clock()
         try:
             while next_emit < len(targets):
                 for key, _ in self._selector.select(timeout=0.2):
                     if key.data is None:
                         self._accept(pending, targets)
-                        last_progress = time.monotonic()
+                        last_progress = self._clock()
                     elif self._on_readable(
                         key.data, pending, targets, results
                     ):
-                        last_progress = time.monotonic()
+                        last_progress = self._clock()
                 self._reap_unconnected(pending)
+                self._check_deadlines(pending, targets)
+                self._pump_spawns()
                 while next_emit in results:
                     yield results.pop(next_emit)
                     next_emit += 1
-                    last_progress = time.monotonic()
-                if time.monotonic() - last_progress > self.timeout:
-                    raise RuntimeError(
+                    last_progress = self._clock()
+                if (
+                    next_emit < len(targets)
+                    and not self._live
+                    and not self._procs
+                    and not self._spawn_backlog
+                ):
+                    # Nobody is working, nobody is starting, and no
+                    # spawn is owed: the fleet is gone.
+                    raise ExecutorFailure(
+                        "distributed executor: too many worker failures"
+                        " — no live workers remain and respawning "
+                        + (
+                            "is halted by the crash-loop detector"
+                            if self._degraded
+                            else "produced none"
+                        )
+                        + f" ({self.failures} failures; "
+                        f"last: {self._last_failure})"
+                        + self._stderr_report()
+                    )
+                if self._clock() - last_progress > self.timeout:
+                    raise ExecutorFailure(
                         "distributed executor: no worker progress for "
                         f"{self.timeout:.0f}s "
                         f"(shard {next_emit}/{len(targets)})"
                     )
         finally:
+            if self.telemetry["degraded"]:
+                self.telemetry["survivors"] = len(self._live)
             self.close()
 
 
@@ -515,6 +857,42 @@ def distributed_executor(targets, worker_args, wrap_targets=None):
 # ---------------------------------------------------------------------------
 # Worker side (`python -m repro.scan.distributed --connect HOST:PORT`)
 # ---------------------------------------------------------------------------
+
+
+def _scream(text: str) -> None:
+    """Announce an injected death on stderr — the coordinator banks a
+    bounded tail of each dead worker's stderr for its failure report,
+    exactly as a real crashing worker's traceback would be."""
+    sys.stderr.write(f"repro.scan.distributed worker: {text}\n")
+    sys.stderr.flush()
+
+
+def _execute_fault_and_maybe_die(stream: FrameStream, kind: str,
+                                 delay: float) -> None:
+    """Run the pre-result half of an injected fault (may not return)."""
+    if kind in ("crash", "hang", "oversize", "truncate"):
+        _scream(f"injected fault {kind!r}")
+    if kind == "crash":
+        # Injected node loss: die without a result, mid-shard.
+        os._exit(_EXIT_CRASH)
+    elif kind == "hang":
+        # Never answer; only the coordinator's shard deadline (or a
+        # hard kill) rescues the shard.
+        time.sleep(_HANG_SECONDS)
+        os._exit(_EXIT_CRASH)
+    elif kind == "stall":
+        # Slow I/O: answer, but late — possibly after a speculative
+        # duplicate already won the race.
+        time.sleep(delay or _DEFAULT_STALL)
+    elif kind == "oversize":
+        # A length prefix past MAX_FRAME: recv() raises ValueError.
+        stream.send_raw(_HEADER.pack(MAX_FRAME + 1))
+        os._exit(_EXIT_OVERSIZE)
+    elif kind == "truncate":
+        # Promise a megabyte, deliver seven bytes, die: recv() sees a
+        # mid-frame EOF.
+        stream.send_raw(_HEADER.pack(1 << 20) + b"partial")
+        os._exit(_EXIT_TRUNCATE)
 
 
 def worker_main(host: str, port: int, fail_shards=frozenset()) -> int:
@@ -557,17 +935,32 @@ def worker_main(host: str, port: int, fail_shards=frozenset()) -> int:
             if engine is None:
                 raise RuntimeError("shard received before init")
             shard = int(message["shard"])
+            fault = message.get("fault") or {}
+            kind = fault.get("kind")
             if delay:
                 time.sleep(delay)
             if shard in fail_shards:
-                # Injected node loss: die without a result, mid-shard.
-                os._exit(17)
+                # Legacy --fail-shards injection (same as kind=crash).
+                _scream(f"injected fault 'crash' on shard {shard}")
+                os._exit(_EXIT_CRASH)
+            if kind == "corrupt":
+                # A well-framed body that is not JSON: recv() raises
+                # JSONDecodeError.  No result follows; the coordinator
+                # drops this worker and its next recv sees a clean EOF.
+                _scream("injected fault 'corrupt'")
+                body = b"\x00\xffthis is not json"
+                stream.send_raw(_HEADER.pack(len(body)) + body)
+                continue
+            if kind is not None:
+                _execute_fault_and_maybe_die(
+                    stream, kind, float(fault.get("delay") or 0.0)
+                )
             starts, ends, seed, shards = geometry
             targets = IntervalTargets(
                 (starts, ends), seed=seed, shard=shard, shards=shards
             )
             result = engine.run(targets, truth, protocol=protocol)
-            stream.send(
+            reply = json.dumps(
                 {
                     "type": "result",
                     "index": message["index"],
@@ -578,7 +971,16 @@ def worker_main(host: str, port: int, fail_shards=frozenset()) -> int:
                     "batches": result.batches,
                     "protocol": result.protocol,
                 }
-            )
+            ).encode()
+            if kind == "mid_result":
+                # Die halfway through the result frame: the shard's
+                # work is done but the coordinator must still re-queue
+                # it (the counters never arrived whole).
+                _scream("injected fault 'mid_result'")
+                frame = _HEADER.pack(len(reply)) + reply
+                stream.send_raw(frame[: max(5, len(frame) // 2)])
+                os._exit(_EXIT_MID_RESULT)
+            stream.send_raw(_HEADER.pack(len(reply)) + reply)
         else:
             raise RuntimeError(f"unexpected message {message['type']!r}")
 
@@ -597,7 +999,15 @@ def main(argv=None) -> int:
         "--fail-shards", default="",
         help="test-only: die when first asked for these shard indices",
     )
+    parser.add_argument(
+        "--die-at-spawn", action="store_true",
+        help="test-only: exit immediately (an injected crash-looping "
+        "spawn; see repro.scan.faults)",
+    )
     args = parser.parse_args(argv)
+    if args.die_at_spawn:
+        _scream("injected fault 'spawn_crash'")
+        os._exit(_EXIT_SPAWN)
     host, _, port = args.connect.rpartition(":")
     if not host or not port.isdigit():
         parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")

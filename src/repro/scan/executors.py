@@ -50,6 +50,7 @@ from repro.scan.blocklist import Blocklist
 from repro.scan.engine import EngineConfig, ScanEngine
 
 __all__ = [
+    "ExecutorFailure",
     "register_executor",
     "available_executors",
     "get_executor",
@@ -58,6 +59,18 @@ __all__ = [
 ]
 
 _REGISTRY: dict[str, object] = {}
+
+
+class ExecutorFailure(RuntimeError):
+    """An executor's *infrastructure* collapsed (not a bad input).
+
+    Raised when worker failures exhaust an executor's recovery options
+    — a tripped failure budget, a crash-looped fleet with no survivors,
+    a global progress stall.  Shards already drained were checkpointed
+    by ``on_shard``, so the condition is retryable: the orchestrator's
+    wave-level retry policy catches exactly this type and re-runs the
+    remainder of the wave.
+    """
 
 
 def register_executor(name: str, *, supports_wrap: bool = False):

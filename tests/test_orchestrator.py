@@ -15,6 +15,7 @@ from repro.orchestrator import (
     compile_waves,
     run_campaign,
 )
+from repro.orchestrator.checkpoint import CHECKPOINT_VERSION
 from repro.orchestrator.waves import (
     explore_unselected,
     hold_or_reseed,
@@ -241,7 +242,7 @@ class TestCheckpointStore:
         store.save(manifest, {"mask": mask})
         loaded, arrays = store.load()
         assert loaded["wave"] == 2 and loaded["shard"] == 1
-        assert loaded["version"] == 1
+        assert loaded["version"] == CHECKPOINT_VERSION
         assert np.array_equal(arrays["mask"], mask)
 
     def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
