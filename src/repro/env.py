@@ -24,7 +24,14 @@ Knobs:
 - ``REPRO_DIST_RESPAWN_BASE``   — base of the exponential respawn
   backoff in seconds (default 0.05; ``0`` disables the backoff);
 - ``REPRO_DIST_CRASH_LOOP``     — consecutive spawn-side failures that
-  declare a crash loop and degrade the fleet (default 3).
+  declare a crash loop and degrade the fleet (default 3);
+- ``REPRO_DIST_ADDRESS_BOOK``   — comma-separated ``host:port`` entries
+  of pre-started remote workers (``python -m repro.scan.distributed
+  --listen host:port``) the coordinator dials out to; spawned and
+  remote workers mix in one fleet (default: empty — spawn-only);
+- ``REPRO_DIST_SECRET``         — shared HMAC-SHA256 key for the
+  worker handshake; when set, both sides must prove knowledge of it
+  before any work is exchanged (default: unset — no authentication).
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ __all__ = [
     "ENV_DIST_SHARD_DEADLINE",
     "ENV_DIST_RESPAWN_BASE",
     "ENV_DIST_CRASH_LOOP",
+    "ENV_DIST_ADDRESS_BOOK",
+    "ENV_DIST_SECRET",
     "EXECUTORS",
     "scan_shards",
     "scan_executor",
@@ -49,6 +58,8 @@ __all__ = [
     "dist_shard_deadline",
     "dist_respawn_base",
     "dist_crash_loop_threshold",
+    "dist_address_book",
+    "dist_secret",
 ]
 
 ENV_SCAN_SHARDS = "REPRO_SCAN_SHARDS"
@@ -59,6 +70,8 @@ ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 ENV_DIST_SHARD_DEADLINE = "REPRO_DIST_SHARD_DEADLINE"
 ENV_DIST_RESPAWN_BASE = "REPRO_DIST_RESPAWN_BASE"
 ENV_DIST_CRASH_LOOP = "REPRO_DIST_CRASH_LOOP"
+ENV_DIST_ADDRESS_BOOK = "REPRO_DIST_ADDRESS_BOOK"
+ENV_DIST_SECRET = "REPRO_DIST_SECRET"
 
 
 def _executor_choices() -> tuple[str, ...]:
@@ -223,6 +236,87 @@ def dist_crash_loop_threshold(explicit=None) -> int:
             f"(from {source})"
         )
     return value
+
+
+def _parse_book_entry(entry, source) -> tuple[str, int]:
+    if (
+        isinstance(entry, tuple)
+        and len(entry) == 2
+        and not isinstance(entry[1], bool)
+    ):
+        host, port = str(entry[0]), entry[1]
+        text = f"{host}:{port}"
+    else:
+        text = str(entry).strip()
+        host, sep, port = text.rpartition(":")
+        if not sep:
+            raise ValueError(
+                f"address book entry {text!r} must be HOST:PORT "
+                f"(from {source})"
+            )
+    if not host:
+        raise ValueError(
+            f"address book entry {text!r} has an empty host "
+            f"(from {source})"
+        )
+    try:
+        port_value = int(str(port).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"address book entry {text!r} has a non-integer port "
+            f"(from {source})"
+        ) from None
+    if not 1 <= port_value <= 65535:
+        raise ValueError(
+            f"address book entry {text!r} port must be in 1..65535 "
+            f"(from {source})"
+        )
+    return host, port_value
+
+
+def dist_address_book(explicit=None) -> tuple[tuple[str, int], ...]:
+    """The validated remote-worker address book as ``(host, port)`` pairs.
+
+    ``explicit`` may be a ``"host:port,host:port"`` string or a sequence
+    of entries (strings or ``(host, port)`` tuples); otherwise
+    ``$REPRO_DIST_ADDRESS_BOOK`` is parsed; with neither, the empty book
+    (the distributed executor spawns local workers only).  Malformed or
+    duplicate entries raise a :class:`ValueError` naming the source —
+    a duplicate would dial the same worker twice and deadlock its
+    one-session-at-a-time accept loop.
+    """
+    raw, source = _resolve(explicit, ENV_DIST_ADDRESS_BOOK, None)
+    if raw is None:
+        return ()
+    if isinstance(raw, (list, tuple)):
+        entries = list(raw)
+    else:
+        entries = [e for e in str(raw).split(",") if e.strip()]
+    book = tuple(_parse_book_entry(entry, source) for entry in entries)
+    if len(set(book)) != len(book):
+        raise ValueError(
+            f"address book has duplicate entries (from {source}): "
+            + ",".join(f"{h}:{p}" for h, p in book)
+        )
+    return book
+
+
+def dist_secret(explicit=None) -> str | None:
+    """The shared handshake secret, or ``None`` when auth is disabled.
+
+    ``explicit`` wins over ``$REPRO_DIST_SECRET``.  A set-but-blank
+    secret raises — it would silently authenticate everyone.
+    """
+    raw, source = _resolve(explicit, ENV_DIST_SECRET, None)
+    if raw is None:
+        return None
+    secret = str(raw)
+    if not secret.strip():
+        raise ValueError(
+            f"distributed secret must be a non-empty string "
+            f"(from {source})"
+        )
+    return secret
 
 
 def count_backend(explicit=None) -> str:

@@ -331,6 +331,7 @@ class CampaignRunner:
         self.store.write_progress(
             {
                 "time": time.time(),
+                "executor": self.spec.executor,
                 "wave": self.state.wave,
                 "shard": self.state.shard,
                 "waves_completed": len(self.state.records),
@@ -447,6 +448,11 @@ class CampaignRunner:
         # only the remainder and the merged results stay byte-identical.
         # The attempt counter itself is checkpointed, so a campaign
         # killed between retries resumes with the same remaining budget.
+        # This same path is what survives a *coordinator* death: each
+        # retry (and each `resume` of a killed run) builds a fresh
+        # distributed Coordinator, which re-dials the address book —
+        # the pre-started remote fleet reconnects and the wave
+        # continues from the checkpoint stream.
         while True:
             completed = list(state.shard_results)
             try:

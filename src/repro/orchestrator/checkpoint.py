@@ -14,6 +14,7 @@ safe resume points.
 from __future__ import annotations
 
 import json
+import math
 import os
 from pathlib import Path
 
@@ -148,14 +149,38 @@ class CheckpointStore:
         self._write_json(self.status_path, status)
 
     def write_progress(self, progress: dict) -> None:
-        self._write_json(self.progress_path, progress)
+        self._write_json(self.progress_path, _sanitize_floats(progress))
 
     @staticmethod
     def _write_json(path: Path, document: dict) -> None:
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w") as fh:
-            fh.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+            fh.write(
+                json.dumps(
+                    document, indent=2, sort_keys=True, allow_nan=False
+                )
+                + "\n"
+            )
             fh.flush()
             os.fsync(fh.fileno())
         tmp.replace(path)
         _fsync_path(path.parent)
+
+
+def _sanitize_floats(value):
+    """Replace non-finite floats with ``None``, recursively.
+
+    ``json.dumps`` would happily emit ``Infinity``/``NaN`` tokens that
+    no strict JSON parser accepts; progress telemetry aggregates
+    wall-clock rates, so a pathological clock must degrade to ``null``,
+    not corrupt the file.  (Status/manifest JSON is deterministic by
+    construction and goes through ``allow_nan=False`` instead, which
+    *raises* — corruption there is a bug to surface, not to paper over.)
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _sanitize_floats(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize_floats(v) for v in value]
+    return value

@@ -70,8 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         default=None,
         help="registered shard executor: serial, process, or "
-        "distributed (coordinator + socket workers; worker count via "
-        "REPRO_DIST_WORKERS)",
+        "distributed (coordinator + socket workers; fleet size via "
+        "REPRO_DIST_WORKERS, pre-started remote workers via "
+        "REPRO_DIST_ADDRESS_BOOK=host:port,..., handshake auth via "
+        "REPRO_DIST_SECRET)",
     )
     plan.add_argument("--backend", default=None)
     plan.add_argument("--batch-size", type=int, default=1 << 16)

@@ -77,11 +77,17 @@ class TokenBucket:
 
     @property
     def achieved_rate(self) -> float:
-        """Mean tokens/sec since the first throttle call (telemetry)."""
+        """Mean tokens/sec since the first throttle call (telemetry).
+
+        Clamped to 0.0 when no time has elapsed: ``float("inf")`` here
+        would flow into ``progress.json`` as a bare ``Infinity`` token,
+        which is not JSON — every strict parser downstream rejects the
+        file.
+        """
         if self._started is None or self.consumed == 0:
             return 0.0
         elapsed = self._clock() - self._started
-        return self.consumed / elapsed if elapsed > 0 else float("inf")
+        return self.consumed / elapsed if elapsed > 0 else 0.0
 
 
 class PacedTargets:

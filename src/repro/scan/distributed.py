@@ -4,14 +4,36 @@ This is the multi-node seam: the coordinator serializes
 :class:`~repro.scan.sharded.IntervalTargets` shard descriptions onto a
 work queue and drives ``N`` workers over a small wire protocol —
 length-prefixed JSON frames over TCP, with ``int64`` arrays carried as
-base64 ``tobytes`` payloads.  The workers here are local child
-processes (``python -m repro.scan.distributed --connect HOST:PORT``),
-but nothing in the protocol is process-local: a worker on another
-machine speaking the same five message types would slot straight in.
+base64 ``tobytes`` payloads pinned to little-endian (``<i8``) on the
+wire, so hosts of different endianness interoperate.  Workers join the
+fleet two ways, mixed freely:
+
+- **spawned** — local child processes the coordinator launches
+  (``python -m repro.scan.distributed --connect HOST:PORT``) that dial
+  back in to its listener;
+- **remote** — pre-started workers (``python -m repro.scan.distributed
+  --listen HOST:PORT``) named in the ``REPRO_DIST_ADDRESS_BOOK``
+  address book that the coordinator dials *out* to.  A listen worker
+  serves coordinator *sessions* in sequence: when one session ends
+  (shutdown, coordinator death, a stray peer hanging up) it returns to
+  ``accept`` and waits for the next — which is what lets a restarted
+  coordinator reconnect the same fleet and resume from its checkpoint
+  stream, and lets a worker that starts late join mid-wave through the
+  coordinator's redial pump.
 
 Protocol (all frames are ``>I``-length-prefixed UTF-8 JSON):
 
-- ``hello``    worker → coordinator: ``{"type": "hello", "pid": ...}``
+- ``hello``     worker → coordinator: ``{"type": "hello", "pid": ...,
+  "nonce": ...}`` — always the worker's first frame, whichever side
+  dialed the connection.
+- ``challenge`` coordinator → worker (only when ``REPRO_DIST_SECRET``
+  is set): a fresh nonce plus the coordinator's HMAC-SHA256 proof over
+  both nonces — authentication is *mutual*, a worker never drains
+  shards for an impostor coordinator.
+- ``auth``      worker → coordinator: the worker's HMAC-SHA256 proof.
+  Peers that fail the exchange are dropped **without charging the
+  failure budget** — stray or impostor connections must not be able to
+  abort a healthy campaign.
 - ``init``     coordinator → worker: responsive set, blocklist, engine
   batch size, protocol, and the shared shard geometry
   (``starts``/``ends``/``seed``/``shards``) — sent once per worker.
@@ -19,7 +41,8 @@ Protocol (all frames are ``>I``-length-prefixed UTF-8 JSON):
   — drain the ``i``-th sub-walk of the init geometry.  May carry a
   ``fault`` object when a chaos plan armed one for this attempt.
 - ``result``   worker → coordinator: the shard's ``ScanResult`` counters.
-- ``shutdown`` coordinator → worker: drain done, exit cleanly.
+- ``shutdown`` coordinator → worker: drain done — a spawned worker
+  exits cleanly, a listen worker returns to ``accept``.
 
 Determinism and failure semantics: every shard's ``ScanResult`` is a
 pure function of the shard description, so *which* worker drains a
@@ -47,9 +70,22 @@ Throughout, results are released strictly in shard order, so the
 orchestrator's ``on_shard`` checkpoint stream (and therefore
 kill-and-resume byte-identity) is preserved under every fault.
 
-Knobs: ``REPRO_DIST_WORKERS`` (worker count; default one per shard
-capped at the CPU count), ``REPRO_FAULT_PLAN`` (declarative fault
-injection; see :mod:`repro.scan.faults`), ``REPRO_DIST_SHARD_DEADLINE``
+Failure-budget accounting draws one safety line: a peer that was never
+a fleet member — a clean pre-hello EOF from a port scanner or health
+checker, or a connection that fails authentication — is logged and
+ignored (``stray_disconnects`` / ``auth_rejects`` telemetry), while a
+*garbled* hello and every failure of an initialized worker still
+charge the budget.  A noisy or hostile network can therefore never
+wedge a healthy run, but genuine infrastructure collapse still aborts
+loudly.
+
+Knobs: ``REPRO_DIST_WORKERS`` (fleet size, spawned + remote; default
+one per shard capped at the CPU count plus the address book),
+``REPRO_DIST_ADDRESS_BOOK`` (``host:port,host:port`` of pre-started
+``--listen`` workers), ``REPRO_DIST_SECRET`` (shared HMAC key; unset
+disables the challenge/response), ``REPRO_FAULT_PLAN`` (declarative
+fault injection; see :mod:`repro.scan.faults`),
+``REPRO_DIST_SHARD_DEADLINE``
 (per-shard attempt deadline, default 30 s; 0 disables),
 ``REPRO_DIST_RESPAWN_BASE`` / ``REPRO_DIST_CRASH_LOOP`` (respawn
 backoff base and crash-loop threshold).  Legacy fault injection:
@@ -64,6 +100,8 @@ from __future__ import annotations
 
 import argparse
 import base64
+import hashlib
+import hmac
 import json
 import os
 import selectors
@@ -79,8 +117,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.env import (
+    ENV_DIST_SECRET,
+    dist_address_book,
     dist_crash_loop_threshold,
     dist_respawn_base,
+    dist_secret,
     dist_shard_deadline,
     fault_plan as _env_fault_plan,
 )
@@ -99,6 +140,7 @@ __all__ = [
     "Coordinator",
     "distributed_executor",
     "worker_main",
+    "listen_main",
     "main",
 ]
 
@@ -122,6 +164,19 @@ _EXIT_TRUNCATE = 18
 _EXIT_OVERSIZE = 19
 _EXIT_MID_RESULT = 20
 _EXIT_SPAWN = 21
+#: A --connect worker that was denied (or denied the coordinator) auth.
+_EXIT_AUTH = 22
+
+#: Seconds a listen worker allows a fresh connection to finish the
+#: hello/challenge/init handshake before dropping it — a port scanner
+#: that connects and stalls must not wedge the accept loop.
+_HANDSHAKE_TIMEOUT = 30.0
+#: Seconds to wait for one outbound TCP connect to an address-book
+#: entry before treating the worker as not-up-yet.
+_DIAL_TIMEOUT = 2.0
+#: Seconds between redial attempts at address-book entries that are
+#: down, rejected, or lost mid-run — the mid-wave join cadence.
+_REDIAL_INTERVAL = 0.5
 
 #: "Forever" for a hung worker; the coordinator kills it long before.
 _HANG_SECONDS = 3600.0
@@ -137,18 +192,46 @@ _ENV = object()
 
 
 def encode_array(arr) -> dict:
-    """A JSON-safe ``{"dtype", "data"}`` carrier for a 1-D array."""
-    arr = np.ascontiguousarray(arr)
+    """A JSON-safe ``{"dtype", "data"}`` carrier for a 1-D array.
+
+    The wire dtype is pinned to explicit little-endian (``<i8`` for the
+    int64 arrays every message actually carries): shipping the sender's
+    *native* dtype string would silently corrupt payloads between hosts
+    of different endianness — a big-endian encoder swaps its bytes
+    here, once, instead of every decoder guessing.
+    """
+    arr = np.asarray(arr)
+    wire = arr.dtype.newbyteorder("<")
+    arr = np.ascontiguousarray(arr, dtype=wire)
     return {
-        "dtype": str(arr.dtype),
+        "dtype": wire.str,
         "data": base64.b64encode(arr.tobytes()).decode("ascii"),
     }
 
 
 def decode_array(obj) -> np.ndarray:
-    return np.frombuffer(
+    """Decode an :func:`encode_array` carrier to a native-order array.
+
+    Byteswaps when the wire order differs from this host's — the
+    returned array is always native-endian, so downstream
+    ``searchsorted`` hot paths never chew on swapped views.
+    """
+    arr = np.frombuffer(
         base64.b64decode(obj["data"]), dtype=np.dtype(obj["dtype"])
     )
+    return arr.astype(arr.dtype.newbyteorder("="), copy=False)
+
+
+def _auth_proof(secret: str, role: str, nonce_c: str, nonce_w: str) -> str:
+    """The HMAC-SHA256 hex proof one ``role`` owes over both nonces.
+
+    Binding the proof to the role and to *both* nonces makes the
+    exchange mutual and replay-proof: a recorded worker proof cannot be
+    replayed to a later challenge, and a coordinator proof cannot be
+    reflected back as a worker proof.
+    """
+    message = f"{role}:{nonce_c}:{nonce_w}".encode()
+    return hmac.new(secret.encode(), message, hashlib.sha256).hexdigest()
 
 
 class FrameStream:
@@ -215,11 +298,12 @@ def _parse_fail_shards(raw: str | None) -> frozenset:
 class _Worker:
     """One connected worker: its stream, process, and assigned shard."""
 
-    __slots__ = ("stream", "pid", "assigned", "assigned_at")
+    __slots__ = ("stream", "pid", "origin", "assigned", "assigned_at")
 
-    def __init__(self, stream: FrameStream, pid: int):
+    def __init__(self, stream: FrameStream, pid: int, origin=None):
         self.stream = stream
         self.pid = pid
+        self.origin = origin  # (host, port) book entry; None = accepted
         self.assigned = None  # local queue index, or None when idle
         self.assigned_at = 0.0  # coordinator clock at dispatch
 
@@ -229,8 +313,20 @@ class Coordinator:
 
     ``worker_args`` is the ``(responsive_values, batch_size,
     block_state, protocol)`` tuple shared by every executor.
-    ``workers=None`` spawns one worker per shard, capped at the CPU
-    count.
+    ``workers=None`` sizes the fleet at one worker per shard, capped at
+    the CPU count plus the address book.
+
+    Fleet composition: every ``address_book`` entry (default
+    ``$REPRO_DIST_ADDRESS_BOOK``) is dialed out to — and *re*-dialed on
+    a short cadence, so a remote worker that starts late, or comes back
+    after its coordinator session dropped, joins mid-wave.  The
+    remainder of the fleet is spawned as local child processes.  When
+    ``secret`` (default ``$REPRO_DIST_SECRET``) is set, every
+    connection — accepted or dialed — must complete the mutual
+    HMAC-SHA256 challenge/response before it receives init; rejects are
+    counted in ``auth_rejects`` and never charge the failure budget.
+    Passing ``secret=None`` / ``address_book=None`` explicitly disables
+    the feature even when the env var is set.
 
     Chaos and recovery knobs (each defaults to its ``repro.env``
     resolution, so env vars apply unless a test passes a value):
@@ -264,10 +360,24 @@ class Coordinator:
         shard_deadline=_ENV,
         respawn_base=_ENV,
         crash_loop_threshold=_ENV,
+        address_book=_ENV,
+        secret=_ENV,
         clock=time.monotonic,
     ):
         self.worker_args = worker_args
         self.workers = workers
+        if address_book is _ENV:
+            self.address_book = dist_address_book()
+        elif address_book is None:
+            self.address_book = ()
+        else:
+            self.address_book = dist_address_book(address_book)
+        if secret is _ENV:
+            self.secret = dist_secret()
+        elif secret is None:
+            self.secret = None
+        else:
+            self.secret = dist_secret(secret)
         legacy = (
             frozenset(fail_shards)
             if fail_shards is not None
@@ -311,6 +421,10 @@ class Coordinator:
             "degraded": False,
             "fleet_initial": 0,
             "survivors": None,
+            "auth_rejects": 0,
+            "stray_disconnects": 0,
+            "remote_fleet": 0,
+            "remote_connected": 0,
         }
         self._listener = None
         self._selector = None
@@ -329,6 +443,10 @@ class Coordinator:
         self._degraded = False
         self._stderr_files: dict[int, object] = {}
         self._stderr_tails: deque = deque(maxlen=8)
+        #: Address-book entries owed a (re)dial, mapped to the clock
+        #: time the next attempt is due — the mid-wave join mechanism.
+        self._remote_due: dict[tuple[str, int], float] = {}
+        self._remote_live: set[tuple[str, int]] = set()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -375,6 +493,8 @@ class Coordinator:
                 pass
         self._stderr_files = {}
         self._connected = set()
+        self._remote_due = {}
+        self._remote_live = set()
 
     # -- spawning ------------------------------------------------------
 
@@ -390,9 +510,20 @@ class Coordinator:
         ]
         ordinal = self._spawn_ordinal
         self._spawn_ordinal += 1
-        if self.fault_plan.spawn_fault(ordinal) is not None:
-            argv.append("--die-at-spawn")
+        spec = self.fault_plan.spawn_fault(ordinal)
+        if spec is not None:
+            argv.append(
+                "--auth-fail" if spec.kind == "auth_fail"
+                else "--die-at-spawn"
+            )
         env = dict(os.environ)
+        # The coordinator's *resolved* auth config is authoritative for
+        # its own children: an explicit secret reaches them through the
+        # environment, an explicit None scrubs an inherited one.
+        if self.secret is not None:
+            env[ENV_DIST_SECRET] = self.secret
+        else:
+            env.pop(ENV_DIST_SECRET, None)
         # Make the repro package importable in the child regardless of
         # how this process found it (installed, PYTHONPATH, or src/).
         pkg_root = str(Path(__file__).resolve().parents[2])
@@ -507,7 +638,18 @@ class Coordinator:
         except (KeyError, ValueError):
             pass
         worker.stream.close()
-        proc = self._procs.pop(worker.pid, None)
+        if worker.origin is not None:
+            # A remote fleet member: its listen loop may well survive
+            # this session (a coordinator-side drop, a transient stall)
+            # — schedule a redial so it can rejoin mid-wave.  A pid
+            # collision with a local child must not reap that child, so
+            # the proc table is only consulted for accepted workers.
+            self._remote_live.discard(worker.origin)
+            self._schedule_redial(worker.origin)
+        proc = (
+            self._procs.pop(worker.pid, None)
+            if worker.origin is None else None
+        )
         if proc is not None:
             # Usually the process is already dead (that's why the drop
             # happened); a protocol-violating or hung survivor is
@@ -575,22 +717,68 @@ class Coordinator:
         # to drain the init payload) times out and is handled as a
         # failure instead of wedging the event loop past the watchdog.
         sock.settimeout(self.timeout)
-        stream = FrameStream(sock)
+        self._handshake(FrameStream(sock), None, pending, targets)
+
+    def _handshake(self, stream: FrameStream, origin,
+                   pending: deque, targets) -> bool:
+        """hello(/challenge/auth)/init with a fresh connection.
+
+        ``origin`` is ``None`` for accepted connections (spawned
+        workers — and strays), or the ``(host, port)`` address-book
+        entry for connections the coordinator dialed out.  Returns True
+        when the peer became a live fleet member.
+
+        Budget accounting draws the safety line documented up top: a
+        clean pre-hello EOF or an authentication failure is *never*
+        charged (the peer was never a fleet member), while a garbled
+        hello — a peer that sent bytes but not our protocol where a
+        worker was expected — still is.
+        """
+        label = (
+            "worker" if origin is None
+            else "remote worker %s:%s" % origin
+        )
         try:
             hello = stream.recv()
-        except (OSError, ValueError):
-            # A garbled hello is the connecting peer's failure, not the
-            # coordinator's: drop the connection, keep the event loop.
+        except ValueError as exc:
+            # Garbled hello: framing or JSON garbage from a peer that
+            # did talk.  The connecting peer's failure, not the
+            # coordinator's — drop it, keep the event loop, charge.
+            stream.close()
+            self._governor.record_failure()
+            self._fail(f"{label} connected without a valid hello ({exc})")
+            if pending:
+                self._request_spawn()
+            return False
+        except OSError:
             hello = None
+        if hello is None:
+            # Clean pre-hello EOF (or reset/stall): a port scanner or
+            # health checker probing the socket.  Never a fleet member,
+            # so never charged — a noisy network must not be able to
+            # abort a healthy run.  (A spawned child that died before
+            # hello is still charged, by _reap_unconnected.)
+            stream.close()
+            self.telemetry["stray_disconnects"] += 1
+            if origin is not None:
+                self._schedule_redial(origin)
+            return False
         if not isinstance(hello, dict) or hello.get("type") != "hello":
             stream.close()
             self._governor.record_failure()
-            self._fail("worker connected without a valid hello")
+            self._fail(f"{label} connected without a valid hello")
             if pending:
                 self._request_spawn()
-            return
-        worker = _Worker(stream, int(hello.get("pid", -1)))
-        self._connected.add(worker.pid)
+            return False
+        pid = int(hello.get("pid", -1))
+        if self.secret is not None and not self._authenticate(
+            stream, hello
+        ):
+            self._reject_unauthenticated(stream, pid, origin, pending)
+            return False
+        worker = _Worker(stream, pid, origin)
+        if origin is None:
+            self._connected.add(pid)
         try:
             stream.send(self._init_message)
         except OSError:
@@ -598,14 +786,115 @@ class Coordinator:
             # will never replace this worker — do it here.
             stream.close()
             self._governor.record_failure()
-            self._fail(f"worker pid {worker.pid} died at init")
-            if pending:
+            self._fail(f"{label} pid {pid} died at init")
+            if origin is not None:
+                self._schedule_redial(origin)
+            elif pending:
                 self._request_spawn()
-            return
+            return False
         self._governor.record_success()
         self._live.append(worker)
-        self._selector.register(sock, selectors.EVENT_READ, worker)
+        if origin is not None:
+            self._remote_live.add(origin)
+            self.telemetry["remote_connected"] += 1
+        self._selector.register(stream.sock, selectors.EVENT_READ, worker)
         self._dispatch(worker, pending, targets)
+        return True
+
+    def _authenticate(self, stream: FrameStream, hello: dict) -> bool:
+        """The coordinator's half of the mutual challenge/response."""
+        nonce_w = hello.get("nonce")
+        if not isinstance(nonce_w, str) or not nonce_w:
+            return False
+        nonce_c = os.urandom(16).hex()
+        try:
+            stream.send({
+                "type": "challenge",
+                "nonce": nonce_c,
+                "proof": _auth_proof(
+                    self.secret, "coordinator", nonce_c, nonce_w
+                ),
+            })
+            reply = stream.recv()
+        except (OSError, ValueError):
+            return False
+        if not isinstance(reply, dict) or reply.get("type") != "auth":
+            return False
+        proof = reply.get("proof")
+        expected = _auth_proof(self.secret, "worker", nonce_c, nonce_w)
+        return isinstance(proof, str) and hmac.compare_digest(
+            proof, expected
+        )
+
+    def _reject_unauthenticated(self, stream: FrameStream, pid: int,
+                                origin, pending: deque) -> None:
+        """Drop a peer that failed (or walked out of) the auth exchange.
+
+        Never charges the failure budget or the respawn governor: an
+        impostor or misconfigured peer was never a fleet member, and
+        letting it burn the budget would hand any hostile network a
+        lever to abort healthy campaigns.  A spawned child that failed
+        auth (the ``auth_fail`` fault, or a secret mismatch) is reaped
+        and replaced; a dialed address-book entry is *not* redialed —
+        a wrong secret will not fix itself, and redialing it forever
+        would just spin the auth_rejects counter.
+        """
+        stream.close()
+        self.telemetry["auth_rejects"] += 1
+        where = (
+            "accepted" if origin is None else "dialed %s:%s" % origin
+        )
+        sys.stderr.write(
+            "repro.scan.distributed: rejected unauthenticated peer "
+            f"(pid {pid}, {where})\n"
+        )
+        proc = self._procs.pop(pid, None) if origin is None else None
+        if proc is not None:
+            # Mark it connected so _reap_unconnected never sees (and
+            # charges) its exit, reap it, and queue a replacement.
+            self._connected.add(pid)
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            self._stderr_tail(pid)
+            if pending:
+                self._request_spawn()
+
+    # -- dialing the address book --------------------------------------
+
+    def _schedule_redial(self, addr) -> None:
+        self._remote_due[addr] = self._clock() + _REDIAL_INTERVAL
+
+    def _dial(self, addr, pending: deque, targets) -> bool:
+        """One outbound connect to a pre-started --listen worker."""
+        try:
+            sock = socket.create_connection(addr, timeout=_DIAL_TIMEOUT)
+        except OSError:
+            # Not up (yet).  A worker that starts late joins through
+            # the redial pump; dial failures never charge the budget.
+            self._schedule_redial(addr)
+            return False
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self.timeout)
+        return self._handshake(FrameStream(sock), addr, pending, targets)
+
+    def _pump_dials(self, pending: deque, targets) -> bool:
+        """Dial due address-book entries — the mid-wave join path.
+
+        Returns True when any dial produced a live fleet member (the
+        drive loop counts that as progress for its watchdog).
+        """
+        joined = False
+        now = self._clock()
+        due = [a for a, t in self._remote_due.items() if t <= now]
+        for addr in due:
+            del self._remote_due[addr]
+            if addr in self._remote_live:
+                continue
+            joined = self._dial(addr, pending, targets) or joined
+        return joined
 
     def _on_readable(self, worker: _Worker, pending: deque, targets,
                      results: dict) -> bool:
@@ -782,13 +1071,21 @@ class Coordinator:
         self._selector.register(
             self._listener, selectors.EVENT_READ, None
         )
+        book = self.address_book
         n_workers = self.workers or min(
-            len(targets), os.cpu_count() or 1
+            len(targets), (os.cpu_count() or 1) + len(book)
         )
         fleet = max(1, min(n_workers, len(targets)))
         self.telemetry["fleet_initial"] = fleet
-        for _ in range(fleet):
+        self.telemetry["remote_fleet"] = len(book)
+        # Every book entry is dialed (and redialed) — a late-starting
+        # remote joins mid-wave; local children fill out the rest of
+        # the fleet.
+        self._remote_due = {addr: 0.0 for addr in book}
+        self._remote_live = set()
+        for _ in range(max(0, fleet - len(book))):
             self._spawn(first_generation=True)
+        self._pump_dials(pending, targets)
 
         last_progress = self._clock()
         try:
@@ -804,6 +1101,8 @@ class Coordinator:
                 self._reap_unconnected(pending)
                 self._check_deadlines(pending, targets)
                 self._pump_spawns()
+                if self._pump_dials(pending, targets):
+                    last_progress = self._clock()
                 while next_emit in results:
                     yield results.pop(next_emit)
                     next_emit += 1
@@ -813,9 +1112,13 @@ class Coordinator:
                     and not self._live
                     and not self._procs
                     and not self._spawn_backlog
+                    and not self._remote_due
                 ):
-                    # Nobody is working, nobody is starting, and no
-                    # spawn is owed: the fleet is gone.
+                    # Nobody is working, nobody is starting, no spawn
+                    # is owed, and no redial is pending: the fleet is
+                    # gone.  (A fleet that is merely *waiting* on
+                    # redials is rescued by the pump or, if the remotes
+                    # never answer, by the no-progress watchdog.)
                     raise ExecutorFailure(
                         "distributed executor: too many worker failures"
                         " — no live workers remain and respawning "
@@ -895,24 +1198,72 @@ def _execute_fault_and_maybe_die(stream: FrameStream, kind: str,
         os._exit(_EXIT_TRUNCATE)
 
 
-def worker_main(host: str, port: int, fail_shards=frozenset()) -> int:
-    """Connect, drain shards until shutdown/EOF.  The remote-node loop."""
+def _session(
+    stream: FrameStream,
+    *,
+    fail_shards=frozenset(),
+    secret: str | None = None,
+    auth_fail: bool = False,
+    strict: bool = True,
+) -> str:
+    """Serve one coordinator over ``stream``; the remote-node loop.
+
+    Sends hello, then drains frames until the session ends.  Returns
+    how it ended: ``"shutdown"`` (clean drain), ``"eof"`` (the
+    coordinator vanished), ``"denied"`` (authentication failed in
+    either direction — a worker with a secret refuses to drain shards
+    for a coordinator that cannot prove it), or ``"protocol"`` (the
+    peer spoke something else; non-strict mode only — a strict spawned
+    worker raises so its traceback lands in the coordinator's stderr
+    tail).
+    """
     # Imported lazily: this module is imported by repro.scan.executors
     # while repro.scan.sharded is still initialising, so a top-level
     # import would be circular.
     from repro.scan.sharded import IntervalTargets
 
     delay = float(os.environ.get(ENV_SHARD_DELAY, "0") or 0.0)
-    stream = FrameStream(socket.create_connection((host, port)))
-    stream.send({"type": "hello", "pid": os.getpid()})
+    nonce_w = os.urandom(16).hex()
+    stream.send({"type": "hello", "pid": os.getpid(), "nonce": nonce_w})
     engine = truth = protocol = None
     geometry = None
+    authed = False
     while True:
         message = stream.recv()
-        if message is None or message["type"] == "shutdown":
-            stream.close()
-            return 0
-        if message["type"] == "init":
+        if message is None:
+            return "eof"
+        kind_ = message.get("type") if isinstance(message, dict) else None
+        if kind_ == "shutdown":
+            return "shutdown"
+        if kind_ == "challenge":
+            if secret is None:
+                # The coordinator demands auth this worker cannot
+                # provide (and could not verify): refuse, don't guess.
+                return "denied"
+            nonce_c = str(message.get("nonce") or "")
+            theirs = message.get("proof")
+            expected = _auth_proof(
+                secret, "coordinator", nonce_c, nonce_w
+            )
+            if not (
+                isinstance(theirs, str)
+                and hmac.compare_digest(theirs, expected)
+            ):
+                # Mutual auth: never drain shards for an impostor
+                # coordinator.
+                return "denied"
+            proof = _auth_proof(secret, "worker", nonce_c, nonce_w)
+            if auth_fail:
+                # Injected sabotage (the auth_fail fault): present a
+                # wrong proof so the coordinator's reject path runs.
+                proof = "deadbeef" + proof[8:]
+            stream.send({"type": "auth", "proof": proof})
+            authed = True
+        elif kind_ == "init":
+            if secret is not None and not authed:
+                # This worker requires auth; init without a challenge
+                # means an unauthenticated coordinator.
+                return "denied"
             block_state = None
             if message["block_starts"] is not None:
                 block_state = (
@@ -931,9 +1282,14 @@ def worker_main(host: str, port: int, fail_shards=frozenset()) -> int:
                 message["seed"],
                 message["shards"],
             )
-        elif message["type"] == "shard":
+            # Handshake done: a listen worker's handshake timeout no
+            # longer applies (the next shard may be a long time coming).
+            stream.sock.settimeout(None)
+        elif kind_ == "shard":
             if engine is None:
-                raise RuntimeError("shard received before init")
+                if strict:
+                    raise RuntimeError("shard received before init")
+                return "protocol"
             shard = int(message["shard"])
             fault = message.get("fault") or {}
             kind = fault.get("kind")
@@ -982,18 +1338,117 @@ def worker_main(host: str, port: int, fail_shards=frozenset()) -> int:
                 os._exit(_EXIT_MID_RESULT)
             stream.send_raw(_HEADER.pack(len(reply)) + reply)
         else:
-            raise RuntimeError(f"unexpected message {message['type']!r}")
+            if strict:
+                raise RuntimeError(f"unexpected message {kind_!r}")
+            return "protocol"
+
+
+def worker_main(host: str, port: int, fail_shards=frozenset(),
+                auth_fail: bool = False, secret=_ENV) -> int:
+    """Dial out to a coordinator, drain shards until shutdown/EOF."""
+    stream = FrameStream(socket.create_connection((host, port)))
+    try:
+        outcome = _session(
+            stream,
+            fail_shards=fail_shards,
+            secret=dist_secret() if secret is _ENV else secret,
+            auth_fail=auth_fail,
+        )
+    finally:
+        stream.close()
+    if outcome == "denied" or (auth_fail and outcome == "eof"):
+        # Rejected by (or refused to work for) the coordinator; a
+        # distinct exit code so a fleet operator can tell auth failures
+        # from crashes in `ps`.  The sabotaged-proof case surfaces as
+        # an EOF — the coordinator hangs up on a bad proof.
+        _scream("authentication failed")
+        return _EXIT_AUTH
+    return 0
+
+
+def listen_main(
+    host: str,
+    port: int,
+    *,
+    fail_shards=frozenset(),
+    auth_fail: bool = False,
+    secret=_ENV,
+    max_sessions: int | None = None,
+    on_bound=None,
+) -> int:
+    """Serve coordinator sessions forever: the pre-started remote worker.
+
+    Sessions are sequential: when one ends — clean shutdown, the
+    coordinator dying mid-wave, a stray peer hanging up or talking
+    garbage — the worker returns to ``accept`` and waits for the next.
+    That is what lets a restarted coordinator re-dial its address book
+    and resume from its checkpoint stream, and lets a worker started
+    late join a wave already in flight.
+
+    ``port`` 0 binds a free port; the bound address is announced on
+    stdout (``repro.scan.distributed: listening on HOST:PORT``) and
+    passed to ``on_bound(host, port)`` when given.  ``max_sessions``
+    bounds the loop (for tests); ``None`` serves forever.
+    """
+    if secret is _ENV:
+        secret = dist_secret()
+    server = socket.socket()
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    server.bind((host, port))
+    server.listen(8)
+    bound_host, bound_port = server.getsockname()[:2]
+    if on_bound is not None:
+        on_bound(bound_host, bound_port)
+    print(
+        f"repro.scan.distributed: listening on {bound_host}:{bound_port}",
+        flush=True,
+    )
+    served = 0
+    try:
+        while max_sessions is None or served < max_sessions:
+            sock, _ = server.accept()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # A fresh peer gets this long to finish the handshake; a
+            # port scanner that connects and stalls must not wedge the
+            # accept loop.  _session lifts the timeout once init lands.
+            sock.settimeout(_HANDSHAKE_TIMEOUT)
+            stream = FrameStream(sock)
+            try:
+                outcome = _session(
+                    stream,
+                    fail_shards=fail_shards,
+                    secret=secret,
+                    auth_fail=auth_fail,
+                    strict=False,
+                )
+            except (OSError, ValueError) as exc:
+                # A stray peer's garbage (or its vanishing mid-frame)
+                # ends the session, never the worker.
+                outcome = f"error ({exc})"
+            finally:
+                stream.close()
+            served += 1
+            _scream(f"session {served} ended: {outcome}")
+    finally:
+        server.close()
+    return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.scan.distributed",
-        description="Distributed scan worker: connect to a coordinator "
-        "and drain shards.",
+        description="Distributed scan worker: dial out to a coordinator "
+        "(--connect) or serve coordinator sessions (--listen).",
     )
-    parser.add_argument(
-        "--connect", required=True, metavar="HOST:PORT",
-        help="coordinator address",
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="coordinator address to dial (spawned-worker mode)",
+    )
+    mode.add_argument(
+        "--listen", metavar="HOST:PORT",
+        help="pre-started remote worker: serve coordinator sessions in "
+        "sequence; HOST:0 picks a free port, announced on stdout",
     )
     parser.add_argument(
         "--fail-shards", default="",
@@ -1004,15 +1459,26 @@ def main(argv=None) -> int:
         help="test-only: exit immediately (an injected crash-looping "
         "spawn; see repro.scan.faults)",
     )
+    parser.add_argument(
+        "--auth-fail", action="store_true",
+        help="test-only: present a sabotaged HMAC proof (the auth_fail "
+        "fault; see repro.scan.faults)",
+    )
     args = parser.parse_args(argv)
     if args.die_at_spawn:
         _scream("injected fault 'spawn_crash'")
         os._exit(_EXIT_SPAWN)
-    host, _, port = args.connect.rpartition(":")
+    addr = args.connect or args.listen
+    host, _, port = addr.rpartition(":")
     if not host or not port.isdigit():
-        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+        parser.error(f"address must be HOST:PORT, got {addr!r}")
+    fail = _parse_fail_shards(args.fail_shards)
+    if args.listen:
+        return listen_main(
+            host, int(port), fail_shards=fail, auth_fail=args.auth_fail
+        )
     return worker_main(
-        host, int(port), _parse_fail_shards(args.fail_shards)
+        host, int(port), fail_shards=fail, auth_fail=args.auth_fail
     )
 
 

@@ -19,10 +19,13 @@ Built-in executors:
   state with the caller).
 - ``process``     — one pool worker process per shard, capped at the CPU
   count (:class:`concurrent.futures.ProcessPoolExecutor`).
-- ``distributed`` — a coordinator that ships shard descriptions to N
-  worker processes over a length-prefixed JSON socket protocol,
-  re-queues shards lost to worker failures, and re-orders results back
-  into shard order (:mod:`repro.scan.distributed`).
+- ``distributed`` — a coordinator that ships shard descriptions to a
+  worker fleet over a length-prefixed JSON socket protocol, re-queues
+  shards lost to worker failures, and re-orders results back into
+  shard order (:mod:`repro.scan.distributed`).  The fleet mixes
+  locally spawned children with pre-started remote workers dialed from
+  the ``REPRO_DIST_ADDRESS_BOOK``, optionally behind a mutual
+  HMAC-SHA256 handshake (``REPRO_DIST_SECRET``).
 
 Registering a new executor is one decorated generator function::
 

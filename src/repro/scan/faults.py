@@ -27,10 +27,14 @@ Plan syntax (entries separated by ``,`` or ``;``)::
     crash@1:attempts=*       every attempt of shard 1 dies (poison shard)
     spawn_crash@4:attempts=* every spawn from ordinal 4 on dies at exec
                              (a crash-looping replacement fleet)
+    auth_fail@2              spawn ordinal 2 presents a sabotaged HMAC
+                             proof; the coordinator must reject it
+                             without charging the failure budget
 
 ``shard`` is the walk's shard number (stable across resume) for worker
 faults, or the spawn *ordinal* (0-based, counting every process the
-coordinator ever launches) for ``spawn_crash``.  ``attempts=N`` fires
+coordinator ever launches) for ``spawn_crash``/``auth_fail``.
+``attempts=N`` fires
 the fault on the first N attempts of that shard (default 1);
 ``attempts=*`` fires on every attempt.  ``@*`` matches any shard.
 
@@ -71,8 +75,11 @@ WORKER_FAULT_KINDS = (
     "mid_result",  # compute the result, die halfway through sending it
 )
 
-#: Faults executed at process launch (the worker dies before hello).
-SPAWN_FAULT_KINDS = ("spawn_crash",)
+#: Faults keyed on the spawn ordinal, sabotaging a worker before it
+#: ever joins the fleet: ``spawn_crash`` dies at exec (before hello),
+#: ``auth_fail`` connects but presents a deliberately wrong HMAC proof,
+#: exercising the coordinator's authentication-reject path.
+SPAWN_FAULT_KINDS = ("spawn_crash", "auth_fail")
 
 FAULT_KINDS = WORKER_FAULT_KINDS + SPAWN_FAULT_KINDS
 

@@ -8,8 +8,12 @@ campaign killed and resumed under the distributed executor stays
 byte-identical to an uninterrupted run.
 """
 
+import base64
 import dataclasses
 import json
+import selectors
+import socket
+from collections import deque
 
 import numpy as np
 import pytest
@@ -19,7 +23,12 @@ from repro.orchestrator import CampaignRunner, CampaignSpec, ReseedPolicy
 from repro.scan.blocklist import Blocklist
 from repro.scan.distributed import (
     ENV_FAIL_SHARDS,
+    ENV_SHARD_DELAY,
+    MAX_FRAME,
     Coordinator,
+    FrameStream,
+    _HEADER,
+    _Worker,
     decode_array,
     encode_array,
 )
@@ -114,6 +123,198 @@ def test_array_codec_roundtrip():
         carried = json.loads(json.dumps(encode_array(arr)))
         assert np.array_equal(decode_array(carried), arr)
         assert decode_array(carried).dtype == arr.dtype
+
+
+def test_encode_array_pins_little_endian_wire_dtype():
+    # Regression: the codec used to ship the *sender's* native dtype
+    # string, silently corrupting int64 payloads between hosts of
+    # different endianness.  The wire dtype is pinned to <i8 whatever
+    # the input's byte order.
+    native = np.array([1, 2**40, -5, 0], dtype=np.int64)
+    for arr in (native, native.astype(">i8"), native.astype("<i8")):
+        carried = encode_array(arr)
+        assert carried["dtype"] == "<i8"
+        decoded = decode_array(json.loads(json.dumps(carried)))
+        assert decoded.dtype.isnative
+        assert np.array_equal(decoded, native)
+
+
+def test_decode_array_byteswaps_big_endian_wire():
+    # A frame from a big-endian sender (or a pre-fix peer): decode must
+    # hand back native-order values, never a swapped view for the
+    # searchsorted hot paths to chew on.
+    values = np.array([7, -1, 2**50], dtype=np.int64)
+    carried = {
+        "dtype": ">i8",
+        "data": base64.b64encode(
+            values.astype(">i8").tobytes()
+        ).decode("ascii"),
+    }
+    decoded = decode_array(carried)
+    assert decoded.dtype.isnative
+    assert np.array_equal(decoded, values)
+
+
+# ---------------------------------------------------------------------------
+# FrameStream edge cases
+# ---------------------------------------------------------------------------
+
+
+class _ChunkSocket:
+    """A fake socket dribbling preloaded bytes a few at a time."""
+
+    def __init__(self, data: bytes, chunk: int = 3):
+        self.data = data
+        self.chunk = chunk
+
+    def recv(self, n: int) -> bytes:
+        take = min(n, self.chunk, len(self.data))
+        out, self.data = self.data[:take], self.data[take:]
+        return out
+
+    def close(self) -> None:
+        pass
+
+
+class TestFrameStream:
+    def test_read_exact_reassembles_across_chunk_boundaries(self):
+        message = {"type": "result", "index": 3, "blob": "x" * 257}
+        payload = json.dumps(message).encode()
+        stream = FrameStream(
+            _ChunkSocket(_HEADER.pack(len(payload)) + payload)
+        )
+        assert stream.recv() == message
+
+    def test_mid_frame_eof_reads_as_none(self):
+        payload = json.dumps({"type": "result"}).encode()
+        frame = _HEADER.pack(len(payload)) + payload
+        stream = FrameStream(_ChunkSocket(frame[: len(frame) // 2]))
+        assert stream.recv() is None
+
+    def test_socket_timeout_mid_frame_surfaces_as_oserror(self):
+        a, b = socket.socketpair()
+        try:
+            a.settimeout(0.05)
+            stream = FrameStream(a)
+            # Promise 100 bytes, deliver 7: the reader must time out
+            # (socket.timeout is an OSError), not block forever.
+            b.sendall(_HEADER.pack(100) + b"partial")
+            with pytest.raises(OSError):
+                stream.recv()
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_prefix_raises_before_allocating(self):
+        stream = FrameStream(
+            _ChunkSocket(_HEADER.pack(MAX_FRAME + 1) + b"garbage", chunk=64)
+        )
+        with pytest.raises(ValueError, match="MAX_FRAME"):
+            stream.recv()
+
+    def test_desynced_stream_drops_worker_not_retries(self):
+        # After an oversized prefix the stream is desynced: the valid
+        # result frame queued behind it must never be read — the
+        # coordinator drops the worker and re-queues its shard instead
+        # of retrying the same stream.
+        spec, responsive = _world()
+        coordinator = Coordinator(
+            (responsive, 1 << 11, None, None), secret=None
+        )
+        coordinator._selector = selectors.DefaultSelector()
+        a, b = socket.socketpair()
+        try:
+            worker = _Worker(FrameStream(a), pid=-99)
+            worker.assigned = 0
+            coordinator._live.append(worker)
+            coordinator._selector.register(a, selectors.EVENT_READ, worker)
+            pending = deque([1])
+            payload = json.dumps({"type": "result", "index": 0}).encode()
+            b.sendall(
+                _HEADER.pack(MAX_FRAME + 1)
+                + _HEADER.pack(len(payload))
+                + payload
+            )
+            landed = coordinator._on_readable(worker, pending, [], {})
+            assert landed is False
+            assert worker not in coordinator._live
+            assert list(pending) == [0, 1]  # lost shard re-queued first
+            assert coordinator.failures == 1
+        finally:
+            coordinator._selector.close()
+            b.close()
+
+
+# ---------------------------------------------------------------------------
+# Stray connections and the failure budget
+# ---------------------------------------------------------------------------
+
+
+def _bare_coordinator(responsive):
+    coordinator = Coordinator(
+        (responsive, 1 << 11, None, None), secret=None
+    )
+    coordinator._selector = selectors.DefaultSelector()
+    coordinator._init_message = {"type": "init"}
+    return coordinator
+
+
+def test_stray_connect_then_close_is_not_charged():
+    # Regression: a clean pre-hello EOF (port scanner, health checker)
+    # used to charge RespawnGovernor.record_failure() and the failure
+    # budget — a noisy network could abort a healthy run.
+    spec, responsive = _world()
+    coordinator = _bare_coordinator(responsive)
+    a, b = socket.socketpair()
+    b.close()  # the stray peer vanishes before saying hello
+    try:
+        joined = coordinator._handshake(FrameStream(a), None, deque(), [])
+        assert joined is False
+        assert coordinator.failures == 0
+        assert coordinator._governor.failures == 0
+        assert coordinator.telemetry["stray_disconnects"] == 1
+    finally:
+        coordinator._selector.close()
+
+
+def test_garbled_hello_still_charges_budget():
+    spec, responsive = _world()
+    coordinator = _bare_coordinator(responsive)
+    a, b = socket.socketpair()
+    try:
+        b.sendall(_HEADER.pack(4) + b"ha!!")  # framed, but not JSON
+        b.close()
+        joined = coordinator._handshake(FrameStream(a), None, deque(), [])
+        assert joined is False
+        assert coordinator.failures == 1
+        assert coordinator._governor.failures == 1
+        assert coordinator.telemetry["stray_disconnects"] == 0
+    finally:
+        coordinator._selector.close()
+
+
+def test_stray_peers_mid_run_do_not_perturb_results(monkeypatch):
+    monkeypatch.setenv(ENV_SHARD_DELAY, "0.2")
+    spec, responsive = _world()
+    monkeypatch.delenv(ENV_SHARD_DELAY)
+    serial = run_sharded(
+        spec, responsive, shards=3, executor="serial", config=_CONFIG
+    )
+    monkeypatch.setenv(ENV_SHARD_DELAY, "0.2")
+    targets = shard_targets(spec, shards=3, seed=0)
+    worker_args = (responsive, _CONFIG.batch_size, None, None)
+    with Coordinator(worker_args, workers=2) as coordinator:
+        gen = coordinator.run(targets)
+        results = [next(gen)]  # the listener is live past this point
+        port = coordinator._listener.getsockname()[1]
+        for _ in range(3):  # connect-and-hang-up, like a port scanner
+            socket.create_connection(("127.0.0.1", port)).close()
+        results.extend(gen)
+    assert coordinator.failures == 0
+    assert coordinator.telemetry["stray_disconnects"] >= 1
+    assert [_result_bytes(r) for r in results] == [
+        _result_bytes(r) for r in serial.shard_results
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.env import count_backend, dist_workers, scan_executor, scan_shards
+from repro.env import (
+    count_backend,
+    dist_address_book,
+    dist_secret,
+    dist_workers,
+    scan_executor,
+    scan_shards,
+)
 from repro.scan.sharded import run_sharded
 
 
@@ -96,6 +103,62 @@ class TestDistWorkers:
         monkeypatch.setenv("REPRO_DIST_WORKERS", bad)
         with pytest.raises(ValueError, match="REPRO_DIST_WORKERS"):
             dist_workers()
+
+
+class TestDistAddressBook:
+    def test_defaults_to_empty(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DIST_ADDRESS_BOOK", raising=False)
+        assert dist_address_book() == ()
+
+    def test_env_string_parsed(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_DIST_ADDRESS_BOOK", "10.0.0.1:9001, node-b:9002"
+        )
+        assert dist_address_book() == (
+            ("10.0.0.1", 9001),
+            ("node-b", 9002),
+        )
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIST_ADDRESS_BOOK", "env-host:1")
+        assert dist_address_book("host:7") == (("host", 7),)
+        assert dist_address_book([("a", 1), "b:2"]) == (
+            ("a", 1),
+            ("b", 2),
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["no-port", ":9000", "host:", "host:abc", "host:0", "host:70000"],
+    )
+    def test_bad_entries_rejected_with_source(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_DIST_ADDRESS_BOOK", bad)
+        with pytest.raises(ValueError, match="REPRO_DIST_ADDRESS_BOOK"):
+            dist_address_book()
+
+    def test_duplicates_rejected(self):
+        # A duplicate would dial the same one-session-at-a-time listen
+        # worker twice and deadlock its handshake.
+        with pytest.raises(ValueError, match="duplicate"):
+            dist_address_book("host:9001,host:9001")
+
+
+class TestDistSecret:
+    def test_defaults_to_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DIST_SECRET", raising=False)
+        assert dist_secret() is None
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIST_SECRET", "env-secret")
+        assert dist_secret("arg-secret") == "arg-secret"
+        assert dist_secret() == "env-secret"
+
+    @pytest.mark.parametrize("bad", ["", "   "])
+    def test_blank_secret_rejected(self, monkeypatch, bad):
+        # A set-but-blank secret would silently authenticate everyone.
+        monkeypatch.setenv("REPRO_DIST_SECRET", bad)
+        with pytest.raises(ValueError, match="non-empty"):
+            dist_secret()
 
 
 class TestCountBackend:

@@ -75,6 +75,11 @@ class TestPlanParsing:
         for kind in WORKER_FAULT_KINDS:
             assert FaultPlan.parse(f"{kind}@0")
         assert FaultPlan.parse("spawn_crash@0")
+        assert FaultPlan.parse("auth_fail@0")
+
+    def test_auth_fail_needs_explicit_ordinal(self):
+        with pytest.raises(ValueError, match="spawn ordinal"):
+            FaultPlan.parse("auth_fail@*")
 
     def test_legacy_crash_shards(self):
         plan = FaultPlan.crash_shards({3, 1})
@@ -123,6 +128,14 @@ class TestMatching:
         plan = FaultPlan.parse("spawn_crash@0:attempts=*,crash@0")
         assert plan.shard_fault(0, 0).kind == "crash"
         assert plan.spawn_fault(0).kind == "spawn_crash"
+
+    def test_auth_fail_matches_spawn_ordinals_like_spawn_crash(self):
+        plan = FaultPlan.parse("auth_fail@1:attempts=2")
+        assert plan.spawn_fault(0) is None
+        assert plan.spawn_fault(1).kind == "auth_fail"
+        assert plan.spawn_fault(2).kind == "auth_fail"
+        assert plan.spawn_fault(3) is None
+        assert plan.shard_fault(1, 0) is None
 
     def test_merged_with_preserves_order(self):
         merged = FaultPlan.parse("crash@1").merged_with(

@@ -228,6 +228,20 @@ class TestTokenBucket:
         assert bucket.consumed <= 1000.0 * clock.now + 1000.0 + 500.0 + 1e-6
         assert bucket.achieved_rate == pytest.approx(1000.0, rel=0.10)
 
+    def test_zero_elapsed_rate_is_json_safe(self):
+        # Regression: with tokens consumed but no clock movement (a
+        # burst served entirely from capacity), achieved_rate returned
+        # float("inf"), which json.dumps emits as a bare Infinity
+        # token — invalid JSON in progress.json.
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, clock=clock, sleep=clock.sleep)
+        bucket.throttle(50)  # within burst: the clock never advances
+        assert clock.now == 0.0 and bucket.consumed == 50
+        assert bucket.achieved_rate == 0.0
+        progress = {"achieved_probes_per_sec": bucket.achieved_rate}
+        text = json.dumps(progress, allow_nan=False)  # must not raise
+        assert json.loads(text) == progress
+
 
 # ---------------------------------------------------------------------------
 # Checkpoint store
@@ -303,6 +317,32 @@ class TestCheckpointStore:
         assert not (directory / "checkpoint.tmp.npz").exists()
         assert not (directory / "status.tmp").exists()
         assert not store.has_checkpoint()
+
+    def test_write_progress_never_emits_non_finite_json(self, tmp_path):
+        # Telemetry rates are wall-clock derived, so a pathological
+        # clock must degrade to null — never to the Infinity/NaN
+        # tokens strict JSON parsers reject.
+        store = CheckpointStore(tmp_path)
+        store.write_progress(
+            {
+                "rate": float("inf"),
+                "nested": {"x": float("nan"), "deep": [float("-inf")]},
+                "ok": 1.5,
+                "n": 3,
+            }
+        )
+
+        def no_constants(token):
+            raise AssertionError(
+                f"non-finite constant {token!r} in progress.json"
+            )
+
+        text = (tmp_path / "progress.json").read_text()
+        doc = json.loads(text, parse_constant=no_constants)
+        assert doc["rate"] is None
+        assert doc["nested"]["x"] is None
+        assert doc["nested"]["deep"] == [None]
+        assert doc["ok"] == 1.5 and doc["n"] == 3
 
 
 # ---------------------------------------------------------------------------
