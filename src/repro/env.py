@@ -31,7 +31,13 @@ Knobs:
   remote workers mix in one fleet (default: empty — spawn-only);
 - ``REPRO_DIST_SECRET``         — shared HMAC-SHA256 key for the
   worker handshake; when set, both sides must prove knowledge of it
-  before any work is exchanged (default: unset — no authentication).
+  before any work is exchanged (default: unset — no authentication);
+- ``REPRO_OBS``                 — the observability plane
+  (:mod:`repro.obs`): ``off`` (default — no events, no metrics),
+  ``events`` (append structured trace events to ``events.jsonl``),
+  or ``full`` (events plus the metrics registry and ``metrics.json``).
+  Observability is wall-clock-side only: campaign state, merged
+  results, and resume byte-identity are unchanged at every setting.
 """
 
 from __future__ import annotations
@@ -49,6 +55,8 @@ __all__ = [
     "ENV_DIST_CRASH_LOOP",
     "ENV_DIST_ADDRESS_BOOK",
     "ENV_DIST_SECRET",
+    "ENV_OBS",
+    "OBS_MODES",
     "EXECUTORS",
     "scan_shards",
     "scan_executor",
@@ -60,6 +68,7 @@ __all__ = [
     "dist_crash_loop_threshold",
     "dist_address_book",
     "dist_secret",
+    "obs_mode",
 ]
 
 ENV_SCAN_SHARDS = "REPRO_SCAN_SHARDS"
@@ -72,6 +81,10 @@ ENV_DIST_RESPAWN_BASE = "REPRO_DIST_RESPAWN_BASE"
 ENV_DIST_CRASH_LOOP = "REPRO_DIST_CRASH_LOOP"
 ENV_DIST_ADDRESS_BOOK = "REPRO_DIST_ADDRESS_BOOK"
 ENV_DIST_SECRET = "REPRO_DIST_SECRET"
+ENV_OBS = "REPRO_OBS"
+
+#: The observability modes, least to most recorded.
+OBS_MODES = ("off", "events", "full")
 
 
 def _executor_choices() -> tuple[str, ...]:
@@ -317,6 +330,24 @@ def dist_secret(explicit=None) -> str | None:
             f"(from {source})"
         )
     return secret
+
+
+def obs_mode(explicit=None) -> str:
+    """The validated observability mode: ``off``/``events``/``full``.
+
+    ``explicit`` wins over ``$REPRO_OBS`` over the default ``off``.
+    The mode only gates what gets *recorded* — nothing the campaign
+    computes or checkpoints depends on it.
+    """
+    raw, source = _resolve(explicit, ENV_OBS, "off")
+    value = str(raw).strip().lower()
+    if value not in OBS_MODES:
+        choices = ", ".join(repr(m) for m in OBS_MODES)
+        raise ValueError(
+            f"unknown observability mode {raw!r} (from {source}); "
+            f"choose one of {choices}"
+        )
+    return value
 
 
 def count_backend(explicit=None) -> str:

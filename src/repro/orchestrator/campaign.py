@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.bgp.table import LESS_SPECIFIC, MORE_SPECIFIC
 from repro.core.tass import TassStrategy
 from repro.env import count_backend, scan_executor, scan_shards
@@ -49,7 +50,31 @@ __all__ = [
     "CampaignRunner",
     "run_campaign",
     "status_from_manifest",
+    "PROGRESS_KEYS",
 ]
+
+#: The ``progress.json`` schema: every key ``_progress`` emits, with
+#: its meaning.  All of it is wall-clock-side telemetry — the
+#: regression tests pin this key set (stable across executors), never
+#: the values.
+PROGRESS_KEYS = {
+    "time": "wall-clock write time (time.time())",
+    "executor": "resolved executor name",
+    "wave": "in-flight wave index",
+    "shard": "next shard index within the in-flight wave",
+    "waves_completed": "completed-wave count",
+    "probes_sent": "campaign-wide probes sent (incl. in-flight shards)",
+    "achieved_probes_per_sec": (
+        "token-bucket achieved rate (null when unpaced)"
+    ),
+    "wave_retries_used": (
+        "executor-failure retries, cumulative across resumes"
+    ),
+    "executor_telemetry": (
+        "cumulative fleet telemetry ({} for in-process executors)"
+    ),
+    "finished": "campaign completion flag",
+}
 
 _VIEWS = (LESS_SPECIFIC, MORE_SPECIFIC)
 
@@ -240,6 +265,11 @@ class CampaignRunner:
         # Wall-clock telemetry only (progress.json), never state: the
         # deterministic retry position lives in _State.wave_attempts.
         self._retries_used = 0
+        # Cumulative executor telemetry (distributed fleet accounting),
+        # merged from the always-on mailbox after every executor run.
+        self._telemetry_totals: dict = {}
+        # Monotonic stamp of the last metrics.json refresh (throttle).
+        self._metrics_written_at: float | None = None
 
     # -- construction from disk ---------------------------------------
 
@@ -258,6 +288,17 @@ class CampaignRunner:
         spec = CampaignSpec.from_dict(manifest["spec"])
         runner = cls(spec, dataset=dataset, directory=directory)
         runner._restore(manifest, arrays)
+        # Telemetry counters continue across resumes (like the state
+        # they describe); a malformed progress.json degrades to fresh
+        # counters rather than blocking the resume.
+        progress = store.read_progress()
+        if progress is not None:
+            retries = progress.get("wave_retries_used")
+            if isinstance(retries, int) and retries >= 0:
+                runner._retries_used = retries
+            telemetry = progress.get("executor_telemetry")
+            if isinstance(telemetry, dict):
+                runner._telemetry_totals = dict(telemetry)
         return runner
 
     def _restore(self, manifest: dict, arrays: dict) -> None:
@@ -328,21 +369,42 @@ class CampaignRunner:
         totals = status_from_manifest(manifest or self._manifest())[
             "totals"
         ]
-        self.store.write_progress(
-            {
-                "time": time.time(),
-                "executor": self.spec.executor,
-                "wave": self.state.wave,
-                "shard": self.state.shard,
-                "waves_completed": len(self.state.records),
-                "probes_sent": totals["probes_sent"],
-                "achieved_probes_per_sec": (
-                    pacer.achieved_rate if pacer is not None else None
-                ),
-                "wave_retries_used": self._retries_used,
-                "finished": self.state.finished,
-            }
-        )
+        document = {
+            "time": time.time(),
+            "executor": self.spec.executor,
+            "wave": self.state.wave,
+            "shard": self.state.shard,
+            "waves_completed": len(self.state.records),
+            "probes_sent": totals["probes_sent"],
+            "achieved_probes_per_sec": (
+                pacer.achieved_rate if pacer is not None else None
+            ),
+            "wave_retries_used": self._retries_used,
+            "executor_telemetry": dict(self._telemetry_totals),
+            "finished": self.state.finished,
+        }
+        assert set(document) == set(PROGRESS_KEYS)
+        self.store.write_progress(document)
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.gauge("campaign.wave").set(self.state.wave)
+            registry.gauge("campaign.shard").set(self.state.shard)
+            if pacer is not None:
+                registry.gauge("pacing.achieved_probes_per_sec").set(
+                    pacer.achieved_rate
+                )
+            # Snapshotting + serializing the registry at every shard
+            # boundary would dominate short shards, so the advisory
+            # metrics file refreshes at most ~1/sec — except the final
+            # document, which must hold the campaign's complete totals.
+            now = time.monotonic()
+            if (
+                self.state.finished
+                or self._metrics_written_at is None
+                or now - self._metrics_written_at >= 1.0
+            ):
+                self._metrics_written_at = now
+                self.store.write_metrics(registry.snapshot())
 
     # -- accounting ----------------------------------------------------
 
@@ -371,27 +433,75 @@ class CampaignRunner:
         """
         self._on_checkpoint = on_checkpoint
         self._pace = pace
+        tracer, registry = self._observability()
+        try:
+            with obs.observe(tracer=tracer, registry=registry):
+                return self._drive()
+        finally:
+            if tracer is not None:
+                tracer.close()
+
+    def _observability(self):
+        """Build this run's (tracer, registry) per ``REPRO_OBS``.
+
+        Resolved here — once per invocation, in the orchestrator
+        process — so the knob can differ between a run and its resume
+        without ever touching deterministic state.  The tracer needs a
+        store to append to; the registry is process-local either way.
+        """
+        tracer = None
+        if self.store is not None and obs.events_enabled():
+            tracer = obs.Tracer(self.store.events_path)
+        registry = (
+            obs.MetricsRegistry() if obs.metrics_enabled() else None
+        )
+        return tracer, registry
+
+    def _drive(self) -> dict:
         state = self.state
-        while not state.finished:
-            if state.wave >= self.spec.waves:
-                state.finished = True
-                break
-            budget = self.spec.probe_budget
-            if (
-                budget is not None
-                and state.shard == 0
-                and not state.wave_planned
-                and self._budget_spent() >= budget
-            ):
-                state.finished = True
-                state.budget_exhausted = True
-                break
-            self._run_wave()
+        tracer = obs.get_tracer()
+        span = tracer.begin(
+            "campaign",
+            name=self.spec.name,
+            waves=self.spec.waves,
+            executor=self.spec.executor,
+            resumed=bool(state.wave or state.shard or state.records),
+        )
+        tracer.current = span
+        try:
+            while not state.finished:
+                if state.wave >= self.spec.waves:
+                    state.finished = True
+                    break
+                budget = self.spec.probe_budget
+                if (
+                    budget is not None
+                    and state.shard == 0
+                    and not state.wave_planned
+                    and self._budget_spent() >= budget
+                ):
+                    state.finished = True
+                    state.budget_exhausted = True
+                    break
+                self._run_wave()
+        except BaseException as exc:
+            tracer.current = None
+            tracer.end("campaign", span, error=type(exc).__name__)
+            raise
+        tracer.current = None
         self._checkpoint()
         status = self.status()
         if self.store is not None:
             self.store.write_status(status)
             self._progress()
+        tracer.end(
+            "campaign",
+            span,
+            finished=state.finished,
+            budget_exhausted=state.budget_exhausted,
+            waves_completed=len(state.records),
+            probes_sent=status["totals"]["probes_sent"],
+        )
         return status
 
     def _plan_wave(self, plan, snapshot) -> None:
@@ -433,10 +543,54 @@ class CampaignRunner:
             pacer = TokenBucket(spec.probes_per_sec)
             wrap = lambda targets: PacedTargets(targets, pacer)
 
+        tracer = obs.get_tracer()
+        campaign_span = tracer.current
+        wave_span = tracer.begin(
+            "wave",
+            wave=plan.wave,
+            month=plan.month,
+            reseeded=state.wave_reseeded,
+            selected_prefixes=selected_prefixes,
+        )
+        # Events emitted below the runner (the coordinator, deep inside
+        # the executor generator) nest under the in-flight wave.
+        tracer.current = wave_span
+        registry = obs.get_registry()
+        if registry is not None and spec.probes_per_sec is not None:
+            registry.gauge("pacing.configured_probes_per_sec").set(
+                spec.probes_per_sec
+            )
+        shard_clock = time.monotonic()
+
         def on_shard(index, result):
+            nonlocal shard_clock
+            now = time.monotonic()
+            seconds = now - shard_clock
+            shard_clock = now
             state.shard_results.append(result)
             state.shard = index + 1
+            tracer.point(
+                "shard",
+                wave=plan.wave,
+                index=index,
+                probes_sent=result.probes_sent,
+                responses=result.responses,
+                blocked=result.blocked,
+                batches=result.batches,
+                seconds=seconds,
+            )
+            if registry is not None:
+                registry.histogram("shard.seconds").observe(seconds)
+                registry.counter("campaign.probes_sent").inc(
+                    result.probes_sent
+                )
+                registry.counter("campaign.responses").inc(
+                    result.responses
+                )
             manifest = self._checkpoint()
+            tracer.point("checkpoint", wave=plan.wave, shard=state.shard)
+            if registry is not None:
+                registry.counter("campaign.checkpoints").inc()
             self._progress(pacer, manifest=manifest)
 
         # Wave-level retry: an executor whose *infrastructure* collapsed
@@ -453,39 +607,53 @@ class CampaignRunner:
         # distributed Coordinator, which re-dials the address book —
         # the pre-started remote fleet reconnects and the wave
         # continues from the checkpoint stream.
-        while True:
-            completed = list(state.shard_results)
-            try:
-                sharded = run_sharded(
-                    self._wave_targets(),
-                    snapshot.addresses,
-                    shards=spec.shards,
-                    executor=spec.executor,
-                    config=EngineConfig(batch_size=spec.batch_size),
-                    blocklist=self.blocklist,
-                    protocol=spec.protocol,
-                    # A distinct probe order per wave, deterministic in
-                    # the spec.
-                    seed=spec.scan_seed + plan.wave,
-                    on_shard=on_shard,
-                    completed=completed,
-                    wrap_targets=wrap,
-                )
-                break
-            except ExecutorFailure:
-                state.wave_attempts += 1
-                self._retries_used += 1
-                manifest = self._checkpoint()
-                self._progress(pacer, manifest=manifest)
-                if state.wave_attempts > spec.wave_retries:
-                    raise
-                _retry_sleep(
-                    backoff_delay(
-                        state.wave_attempts,
-                        spec.wave_retry_backoff,
-                        _RETRY_BACKOFF_CAP,
+        try:
+            while True:
+                completed = list(state.shard_results)
+                try:
+                    sharded = run_sharded(
+                        self._wave_targets(),
+                        snapshot.addresses,
+                        shards=spec.shards,
+                        executor=spec.executor,
+                        config=EngineConfig(batch_size=spec.batch_size),
+                        blocklist=self.blocklist,
+                        protocol=spec.protocol,
+                        # A distinct probe order per wave, deterministic
+                        # in the spec.
+                        seed=spec.scan_seed + plan.wave,
+                        on_shard=on_shard,
+                        completed=completed,
+                        wrap_targets=wrap,
                     )
-                )
+                    self._absorb_executor_telemetry()
+                    break
+                except ExecutorFailure:
+                    state.wave_attempts += 1
+                    self._retries_used += 1
+                    self._absorb_executor_telemetry()
+                    tracer.point(
+                        "wave_retry",
+                        wave=plan.wave,
+                        attempt=state.wave_attempts,
+                    )
+                    if registry is not None:
+                        registry.counter("campaign.wave_retries").inc()
+                    manifest = self._checkpoint()
+                    self._progress(pacer, manifest=manifest)
+                    if state.wave_attempts > spec.wave_retries:
+                        raise
+                    _retry_sleep(
+                        backoff_delay(
+                            state.wave_attempts,
+                            spec.wave_retry_backoff,
+                            _RETRY_BACKOFF_CAP,
+                        )
+                    )
+        except BaseException as exc:
+            tracer.current = campaign_span
+            tracer.end("wave", wave_span, error=type(exc).__name__)
+            raise
         state.wave_attempts = 0
         # on_shard only sees newly drained shards; make the state whole.
         state.shard_results = list(sharded.shard_results)
@@ -540,6 +708,32 @@ class CampaignRunner:
         state.shard_results = []
         manifest = self._checkpoint()
         self._progress(pacer, manifest=manifest)
+        record = state.records[-1]
+        tracer.current = campaign_span
+        tracer.end(
+            "wave",
+            wave_span,
+            probes_sent=record.probes_sent,
+            responses=record.responses,
+            hitrate=record.hitrate,
+        )
+
+    def _absorb_executor_telemetry(self) -> None:
+        """Fold mailbox publications into the cumulative totals.
+
+        The registry mirrors the *totals* as gauges (not per-update
+        counter increments) so sample keys like ``survivors`` read as
+        their latest value instead of a nonsense sum.
+        """
+        for update in obs.take_executor_telemetry():
+            obs.merge_telemetry(self._telemetry_totals, update)
+        registry = obs.get_registry()
+        if registry is not None:
+            for key, value in self._telemetry_totals.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    registry.gauge(f"executor.{key}").set(value)
 
 
 def status_from_manifest(manifest: dict) -> dict:

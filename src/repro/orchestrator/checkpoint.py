@@ -50,7 +50,13 @@ class CheckpointStore:
     - ``checkpoint.npz`` — the latest atomic checkpoint;
     - ``status.json``    — the deterministic status document;
     - ``progress.json``  — wall-clock telemetry (timestamps, achieved
-      probe rate); deliberately *outside* the determinism contract.
+      probe rate, cumulative executor telemetry); deliberately
+      *outside* the determinism contract;
+    - ``events.jsonl``   — the structured trace-event log
+      (:mod:`repro.obs`, ``REPRO_OBS=events|full``); append-only, so
+      a resumed campaign continues the same file under a new run id;
+    - ``metrics.json``   — the latest metrics-registry snapshot
+      (``REPRO_OBS=full``).
     """
 
     def __init__(self, directory):
@@ -81,6 +87,14 @@ class CheckpointStore:
     @property
     def progress_path(self) -> Path:
         return self.directory / "progress.json"
+
+    @property
+    def events_path(self) -> Path:
+        return self.directory / "events.jsonl"
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.directory / "metrics.json"
 
     # -- spec ----------------------------------------------------------
 
@@ -141,7 +155,17 @@ class CheckpointStore:
         return manifest, arrays
 
     def clear(self) -> None:
+        """Drop the checkpoint *and* its wall-clock companions.
+
+        A ``run --fresh`` that kept the previous attempt's
+        ``progress.json``/``events.jsonl`` would seed the new run's
+        cumulative telemetry (and prepend a stale event history) from
+        a campaign that no longer exists.
+        """
         self.checkpoint_path.unlink(missing_ok=True)
+        self.progress_path.unlink(missing_ok=True)
+        self.events_path.unlink(missing_ok=True)
+        self.metrics_path.unlink(missing_ok=True)
 
     # -- status & telemetry -------------------------------------------
 
@@ -151,8 +175,33 @@ class CheckpointStore:
     def write_progress(self, progress: dict) -> None:
         self._write_json(self.progress_path, _sanitize_floats(progress))
 
+    def read_progress(self) -> dict | None:
+        """The last progress document, or ``None`` (never raises on a
+        malformed file — telemetry must not block a resume)."""
+        if not self.progress_path.exists():
+            return None
+        try:
+            document = json.loads(self.progress_path.read_text())
+        except ValueError:
+            return None
+        return document if isinstance(document, dict) else None
+
+    def write_metrics(self, snapshot: dict) -> None:
+        """Persist a metrics-registry snapshot (wall-clock-side).
+
+        Atomic (readers never see a torn file) but *not* durable: the
+        snapshot is advisory telemetry rewritten at every checkpoint,
+        so unlike the checkpoint itself it skips both fsyncs — under
+        power loss the next checkpoint simply rewrites it, and paying
+        two fsyncs per shard here is exactly the overhead the <5%
+        observability budget cannot afford.
+        """
+        self._write_json(
+            self.metrics_path, _sanitize_floats(snapshot), durable=False
+        )
+
     @staticmethod
-    def _write_json(path: Path, document: dict) -> None:
+    def _write_json(path: Path, document: dict, durable: bool = True) -> None:
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w") as fh:
             fh.write(
@@ -161,10 +210,12 @@ class CheckpointStore:
                 )
                 + "\n"
             )
-            fh.flush()
-            os.fsync(fh.fileno())
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
         tmp.replace(path)
-        _fsync_path(path.parent)
+        if durable:
+            _fsync_path(path.parent)
 
 
 def _sanitize_floats(value):

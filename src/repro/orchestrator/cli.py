@@ -16,6 +16,7 @@ import argparse
 import json
 import signal
 import sys
+import time
 
 from repro.bgp.table import LESS_SPECIFIC, MORE_SPECIFIC
 from repro.orchestrator.campaign import (
@@ -128,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="machine-readable JSON (the kill-and-resume contract)",
     )
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help="after the status, tail the live trace-event log "
+        "(events.jsonl; requires the campaign to run with "
+        "REPRO_OBS=events or full) until the campaign finishes or "
+        "Ctrl-C",
+    )
     return parser
 
 
@@ -208,6 +217,54 @@ def _print_outcome(status: dict) -> None:
     )
 
 
+def _follow_events(store: CheckpointStore) -> int:
+    """Tail ``events.jsonl`` — one line per trace event, live.
+
+    Follows until the campaign's ``campaign`` span ends (the run
+    completed) or Ctrl-C.  Lines are written atomically (one
+    ``O_APPEND`` write each), but the reader still buffers partial
+    tails defensively and skips anything that does not parse — a
+    follower must never crash on a log it is racing.
+    """
+    from repro.obs.report import format_event
+
+    path = store.events_path
+    position = 0
+    buffered = ""
+    try:
+        while True:
+            if not path.exists():
+                time.sleep(0.2)
+                continue
+            with open(path) as fh:
+                fh.seek(position)
+                chunk = fh.read()
+                position = fh.tell()
+            buffered += chunk
+            *lines, buffered = buffered.split("\n")
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                try:
+                    print(format_event(record), flush=True)
+                except (KeyError, TypeError):
+                    continue
+                if (
+                    record.get("ev") == "end"
+                    and record.get("type") == "campaign"
+                ):
+                    return 0
+            if not chunk:
+                time.sleep(0.2)
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -273,6 +330,14 @@ def _dispatch(args) -> int:
                     f"probes={record['probes_sent']} "
                     f"absorbed={record['absorbed_prefixes']}"
                 )
+        if args.follow:
+            if not store.events_path.exists():
+                print(
+                    "waiting for events.jsonl — the campaign must run "
+                    "with REPRO_OBS=events or REPRO_OBS=full",
+                    file=sys.stderr,
+                )
+            return _follow_events(store)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

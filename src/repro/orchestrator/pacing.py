@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
+
 __all__ = ["TokenBucket", "PacedTargets"]
 
 
@@ -73,6 +75,12 @@ class TokenBucket:
         else:
             self._tokens -= n
         self.consumed += int(n)
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter("pacing.tokens_consumed").inc(int(n))
+            if waited:
+                registry.counter("pacing.throttle_sleeps").inc()
+                registry.counter("pacing.slept_seconds").inc(waited)
         return waited
 
     @property

@@ -116,6 +116,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.env import (
     ENV_DIST_SECRET,
     dist_address_book,
@@ -235,18 +236,27 @@ def _auth_proof(secret: str, role: str, nonce_c: str, nonce_w: str) -> str:
 
 
 class FrameStream:
-    """Length-prefixed JSON frames over a blocking socket."""
+    """Length-prefixed JSON frames over a blocking socket.
+
+    ``bytes_in``/``bytes_out`` count the wire traffic either side of
+    this stream has moved — observability both report into (worker
+    stats frames carry the worker's counters home; the coordinator
+    folds its own side into the metrics registry).
+    """
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
+        self.bytes_in = 0
+        self.bytes_out = 0
 
     def send(self, message: dict) -> None:
         payload = json.dumps(message).encode()
-        self.sock.sendall(_HEADER.pack(len(payload)) + payload)
+        self.send_raw(_HEADER.pack(len(payload)) + payload)
 
     def send_raw(self, data: bytes) -> None:
         """Ship pre-framed (possibly malformed) bytes — fault injection."""
         self.sock.sendall(data)
+        self.bytes_out += len(data)
 
     def recv(self) -> dict | None:
         """The next frame, or ``None`` on a clean EOF.
@@ -274,6 +284,7 @@ class FrameStream:
             if not chunk:
                 return None
             chunks.append(chunk)
+            self.bytes_in += len(chunk)
             n -= len(chunk)
         return b"".join(chunks)
 
@@ -298,7 +309,10 @@ def _parse_fail_shards(raw: str | None) -> frozenset:
 class _Worker:
     """One connected worker: its stream, process, and assigned shard."""
 
-    __slots__ = ("stream", "pid", "origin", "assigned", "assigned_at")
+    __slots__ = (
+        "stream", "pid", "origin", "assigned", "assigned_at",
+        "fault_kind",
+    )
 
     def __init__(self, stream: FrameStream, pid: int, origin=None):
         self.stream = stream
@@ -306,6 +320,7 @@ class _Worker:
         self.origin = origin  # (host, port) book entry; None = accepted
         self.assigned = None  # local queue index, or None when idle
         self.assigned_at = 0.0  # coordinator clock at dispatch
+        self.fault_kind = None  # fault armed on the in-flight dispatch
 
 
 class Coordinator:
@@ -458,11 +473,27 @@ class Coordinator:
 
     def close(self) -> None:
         """Tear everything down; safe to call twice."""
+        collect_stats = obs.get_registry() is not None
         for worker in self._live:
             try:
                 worker.stream.send({"type": "shutdown"})
-            except OSError:
+                if collect_stats:
+                    # A worker answers shutdown with one final stats
+                    # frame; best-effort with a short clamp so a hung
+                    # worker cannot stall teardown.  Skipped entirely
+                    # outside a metrics scope.
+                    worker.stream.sock.settimeout(0.25)
+                    reply = worker.stream.recv()
+                    if (
+                        isinstance(reply, dict)
+                        and reply.get("type") == "stats"
+                    ):
+                        self._absorb_stats(
+                            worker.pid, reply.get("stats")
+                        )
+            except (OSError, ValueError):
                 pass
+            self._flush_worker_bytes(worker)
             worker.stream.close()
         self._live = []
         if self._selector is not None:
@@ -551,6 +582,12 @@ class Coordinator:
             self.telemetry["respawns"] += 1
         self._procs[proc.pid] = proc
         self._stderr_files[proc.pid] = stderr
+        obs.get_tracer().point(
+            "worker_spawn",
+            pid=proc.pid,
+            ordinal=ordinal,
+            respawn=not first_generation,
+        )
 
     def _request_spawn(self) -> None:
         """Ask for one replacement; honored by :meth:`_pump_spawns`."""
@@ -577,6 +614,9 @@ class Coordinator:
         self._spawn_backlog = 0
         self.telemetry["degraded"] = True
         self.telemetry["survivors"] = len(self._live)
+        obs.get_tracer().point(
+            "fleet_degraded", survivors=len(self._live)
+        )
         sys.stderr.write(
             "repro.scan.distributed: crash loop detected after "
             f"{self._governor.failures} consecutive spawn failures; "
@@ -628,6 +668,33 @@ class Coordinator:
             return False
         return not any(w.assigned == index for w in self._live)
 
+    def _flush_worker_bytes(self, worker: _Worker) -> None:
+        """Fold this side's wire counters in as a worker detaches."""
+        registry = obs.get_registry()
+        if registry is not None:
+            registry.counter("dist.bytes_in").inc(
+                worker.stream.bytes_in
+            )
+            registry.counter("dist.bytes_out").inc(
+                worker.stream.bytes_out
+            )
+
+    def _absorb_stats(self, pid: int, stats) -> None:
+        """Worker-side counters (shipped home in frames) → gauges.
+
+        Gauges, not counter increments: each frame carries the worker's
+        *cumulative* session counters, so the latest value is the
+        truth and summing frames would multiply it.
+        """
+        registry = obs.get_registry()
+        if registry is None or not isinstance(stats, dict):
+            return
+        for key, value in stats.items():
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                registry.gauge(f"worker.{pid}.{key}").set(value)
+
     def _drop_worker(self, worker: _Worker, pending: deque,
                      reason: str) -> None:
         """A worker died or misbehaved: re-queue its shard, count it."""
@@ -637,7 +704,17 @@ class Coordinator:
             self._selector.unregister(worker.stream.sock)
         except (KeyError, ValueError):
             pass
+        self._flush_worker_bytes(worker)
         worker.stream.close()
+        tracer = obs.get_tracer()
+        tracer.point("worker_drop", pid=worker.pid, reason=reason)
+        if worker.fault_kind is not None and worker.assigned is not None:
+            # Worker processes cannot write the coordinator's event
+            # log; a drop whose in-flight dispatch had a fault armed is
+            # the observable moment that fault fired.
+            tracer.point(
+                "fault_fired", pid=worker.pid, kind=worker.fault_kind
+            )
         if worker.origin is not None:
             # A remote fleet member: its listen loop may well survive
             # this session (a coordinator-side drop, a transient stall)
@@ -695,15 +772,30 @@ class Coordinator:
         shard_no = int(targets[index].shard)
         attempt = self._attempts.get(index, 0)
         message = {"type": "shard", "shard": shard_no, "index": index}
+        tracer = obs.get_tracer()
         spec = self.fault_plan.shard_fault(shard_no, attempt)
         if spec is not None:
             message["fault"] = {"kind": spec.kind, "delay": spec.delay}
             self.telemetry["faults_armed"] += 1
+            tracer.point(
+                "fault_armed",
+                shard=shard_no,
+                attempt=attempt,
+                kind=spec.kind,
+            )
         self._attempts[index] = attempt + 1
         try:
             worker.stream.send(message)
             worker.assigned = index
             worker.assigned_at = self._clock()
+            worker.fault_kind = spec.kind if spec is not None else None
+            tracer.point(
+                "shard_dispatch",
+                index=index,
+                shard=shard_no,
+                attempt=attempt,
+                pid=worker.pid,
+            )
         except OSError:
             self._attempts[index] = attempt  # never actually dispatched
             pending.appendleft(index)
@@ -794,6 +886,11 @@ class Coordinator:
             return False
         self._governor.record_success()
         self._live.append(worker)
+        obs.get_tracer().point(
+            "worker_connect",
+            pid=pid,
+            origin="%s:%s" % origin if origin is not None else None,
+        )
         if origin is not None:
             self._remote_live.add(origin)
             self.telemetry["remote_connected"] += 1
@@ -844,6 +941,7 @@ class Coordinator:
         where = (
             "accepted" if origin is None else "dialed %s:%s" % origin
         )
+        obs.get_tracer().point("auth_reject", pid=pid, where=where)
         sys.stderr.write(
             "repro.scan.distributed: rejected unauthenticated peer "
             f"(pid {pid}, {where})\n"
@@ -920,9 +1018,15 @@ class Coordinator:
                     self._selector.unregister(worker.stream.sock)
                 except (KeyError, ValueError):
                     pass
+                self._flush_worker_bytes(worker)
                 worker.stream.close()
                 return False
             self._drop_worker(worker, pending, "hung up")
+            return False
+        if isinstance(message, dict) and message.get("type") == "stats":
+            # A worker's final session counters (normally sent in
+            # answer to shutdown; tolerated any time it is idle).
+            self._absorb_stats(worker.pid, message.get("stats"))
             return False
         if not isinstance(message, dict) or message.get("type") != "result":
             kind = (
@@ -943,12 +1047,16 @@ class Coordinator:
             )
             return False
         worker.assigned = None
+        worker.fault_kind = None
         if index in results:
             # A speculative race this worker lost: the shard already
             # completed elsewhere.  Both results are byte-identical by
             # construction, so the duplicate is simply discarded and
             # the worker goes back to useful work.
             self.telemetry["duplicates_discarded"] += 1
+            obs.get_tracer().point(
+                "duplicate_discarded", index=index, pid=worker.pid
+            )
             self._dispatch(worker, pending, targets)
             return False
         results[index] = ScanResult(
@@ -958,6 +1066,18 @@ class Coordinator:
             batches=int(message["batches"]),
             protocol=message.get("protocol"),
         )
+        seconds = message.get("seconds")
+        obs.get_tracer().point(
+            "shard_result",
+            index=index,
+            pid=worker.pid,
+            probes_sent=int(message["probes_sent"]),
+            seconds=seconds,
+        )
+        registry = obs.get_registry()
+        if registry is not None and isinstance(seconds, (int, float)):
+            registry.histogram("dist.shard_seconds").observe(seconds)
+        self._absorb_stats(worker.pid, message.get("stats"))
         self._dispatch(worker, pending, targets)
         return True
 
@@ -995,6 +1115,9 @@ class Coordinator:
                 # reclaim its process (its shard re-queues if nobody
                 # else covered it).
                 self.telemetry["deadline_kills"] += 1
+                obs.get_tracer().point(
+                    "deadline_kill", pid=worker.pid, index=index
+                )
                 self._drop_worker(
                     worker, pending,
                     f"held a shard {now - worker.assigned_at:.1f}s "
@@ -1014,6 +1137,9 @@ class Coordinator:
             # merged byte are unchanged — shard results are pure.
             pending.appendleft(index)
             self.telemetry["speculative_requeues"] += 1
+            obs.get_tracer().point(
+                "speculative_redispatch", index=index
+            )
             for idle in list(self._live):
                 if not pending:
                     break
@@ -1141,6 +1267,10 @@ class Coordinator:
             if self.telemetry["degraded"]:
                 self.telemetry["survivors"] = len(self._live)
             self.close()
+            # Always-on (independent of REPRO_OBS): the orchestrator
+            # persists fleet accounting into progress.json, cumulative
+            # across waves and resumes.
+            obs.publish_executor_telemetry(self.telemetry)
 
 
 @register_executor("distributed")
@@ -1228,12 +1358,42 @@ def _session(
     engine = truth = protocol = None
     geometry = None
     authed = False
+    # Session counters shipped home for observability: cumulative in
+    # every result frame, and once more in the final stats frame that
+    # answers shutdown.  Purely additive wire payload — the coordinator
+    # result path reads the counter fields it always has.
+    stats = {
+        "shards": 0,
+        "probes_sent": 0,
+        "responses": 0,
+        "seconds": 0.0,
+    }
+
+    def _session_stats() -> dict:
+        return dict(
+            stats,
+            bytes_in=stream.bytes_in,
+            bytes_out=stream.bytes_out,
+        )
+
     while True:
         message = stream.recv()
         if message is None:
             return "eof"
         kind_ = message.get("type") if isinstance(message, dict) else None
         if kind_ == "shutdown":
+            try:
+                stream.send(
+                    {
+                        "type": "stats",
+                        "pid": os.getpid(),
+                        "stats": _session_stats(),
+                    }
+                )
+            except OSError:
+                # The coordinator may already be gone; stats are
+                # telemetry, never worth failing a clean shutdown over.
+                pass
             return "shutdown"
         if kind_ == "challenge":
             if secret is None:
@@ -1315,7 +1475,13 @@ def _session(
             targets = IntervalTargets(
                 (starts, ends), seed=seed, shard=shard, shards=shards
             )
+            began = time.monotonic()
             result = engine.run(targets, truth, protocol=protocol)
+            seconds = time.monotonic() - began
+            stats["shards"] += 1
+            stats["probes_sent"] += result.probes_sent
+            stats["responses"] += result.responses
+            stats["seconds"] += seconds
             reply = json.dumps(
                 {
                     "type": "result",
@@ -1326,6 +1492,8 @@ def _session(
                     "blocked": result.blocked,
                     "batches": result.batches,
                     "protocol": result.protocol,
+                    "seconds": seconds,
+                    "stats": _session_stats(),
                 }
             ).encode()
             if kind == "mid_result":

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.bgp.table import interval_membership
 from repro.census.addrset import AddressSet
 
@@ -77,7 +78,17 @@ class ScanEngine:
         n_truth = len(truth)
         result = ScanResult(protocol=protocol)
         blocklist = self.blocklist
+        # Resolved once per run: outside an observability scope this is
+        # None and the batch loop pays a single predictable branch.
+        registry = obs.get_registry()
+        probes_before = 0
         for batch in targets.batches(self.config.batch_size):
+            if registry is not None:
+                registry.counter("engine.batches").inc()
+                sent = result.probes_sent - probes_before
+                if sent:
+                    registry.counter("engine.probes_sent").inc(sent)
+                probes_before = result.probes_sent
             size = int(batch.size)
             result.batches += 1
             if size == 0:
@@ -138,4 +149,11 @@ class ScanEngine:
                     np.logical_not(blocked, out=blocked)
                     np.logical_and(hit, blocked, out=hit)
                 result.responses += int(hit.sum())
+        if registry is not None:
+            # Flush the last batch's probes and fold the run's totals.
+            sent = result.probes_sent - probes_before
+            if sent:
+                registry.counter("engine.probes_sent").inc(sent)
+            registry.counter("engine.responses").inc(result.responses)
+            registry.counter("engine.blocked").inc(result.blocked)
         return result

@@ -64,6 +64,19 @@ def test_best_of_two_absorbs_one_noisy_run(tmp_path):
     assert _run(noisy, clean, "--against", base).returncode == 0
 
 
+def test_best_of_baselines_keeps_the_gate_strict(tmp_path):
+    # A noisy (slow) baseline run would silently loosen the gate; with
+    # --against repeated, the per-benchmark best across baselines is
+    # what the candidate must beat.
+    noisy = _bench_json(tmp_path / "noisy.json", {"bench::a": 0.500})
+    clean = _bench_json(tmp_path / "clean.json", {"bench::a": 0.100})
+    run = _bench_json(tmp_path / "run.json", {"bench::a": 0.140})
+    assert _run(run, "--against", noisy).returncode == 0
+    proc = _run(run, "--against", noisy, "--against", clean)
+    assert proc.returncode == 1
+    assert "best of 2 baseline(s)" in proc.stdout
+
+
 def test_unmatched_benchmarks_never_fail_the_gate(tmp_path):
     base = _bench_json(tmp_path / "base.json", {"bench::gone": 0.1})
     run = _bench_json(tmp_path / "run.json", {"bench::new": 9.9})

@@ -7,6 +7,7 @@ from repro.env import (
     dist_address_book,
     dist_secret,
     dist_workers,
+    obs_mode,
     scan_executor,
     scan_shards,
 )
@@ -177,6 +178,38 @@ class TestCountBackend:
         message = str(excinfo.value)
         assert "unknown counting backend 'gpu'" in message
         assert "searchsorted" in message
+
+
+class TestObsMode:
+    def test_defaults_to_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert obs_mode() == "off"
+
+    def test_valid_values(self, monkeypatch):
+        for mode in ("off", "events", "full"):
+            monkeypatch.setenv("REPRO_OBS", mode)
+            assert obs_mode() == mode
+
+    def test_case_and_whitespace_normalized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "  FULL ")
+        assert obs_mode() == "full"
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "full")
+        assert obs_mode("events") == "events"
+
+    def test_bad_env_value_lists_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "verbose")
+        with pytest.raises(ValueError) as excinfo:
+            obs_mode()
+        message = str(excinfo.value)
+        assert "unknown observability mode 'verbose'" in message
+        assert "REPRO_OBS" in message
+        assert "'events'" in message
+
+    def test_bad_explicit_names_argument(self):
+        with pytest.raises(ValueError, match=r"\(from argument\)"):
+            obs_mode("nope")
 
 
 def test_run_sharded_surfaces_bad_env_shards(monkeypatch):
