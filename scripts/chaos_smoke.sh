@@ -61,10 +61,10 @@ REPRO_FAULT_PLAN="crash@1,corrupt@3" \
 python -m repro.orchestrator run --dir "$WORK/killed" &
 PID=$!
 for _ in $(seq 1 120); do
-    [ -f "$WORK/killed/checkpoint.npz" ] && break
+    compgen -G "$WORK/killed/checkpoint.*.npz" > /dev/null && break
     sleep 0.5
 done
-[ -f "$WORK/killed/checkpoint.npz" ] || {
+compgen -G "$WORK/killed/checkpoint.*.npz" > /dev/null || {
     echo "no checkpoint appeared within 60s" >&2; exit 1; }
 sleep 1
 kill -TERM "$PID" 2>/dev/null || true

@@ -2,8 +2,9 @@
 # Observability smoke: run a multi-worker distributed campaign via the
 # CLI with REPRO_OBS=full under an injected fault plan, validate the
 # trace-event log against the schema, render the rollup report, and
-# require every deterministic artifact (status JSON and checkpoint.npz)
-# to be byte-identical to the same campaign run with REPRO_OBS=off.
+# require every deterministic artifact (status JSON and the latest
+# checkpoint generation) to be byte-identical to the same campaign run
+# with REPRO_OBS=off.
 # Then kill a campaign mid-wave under REPRO_OBS=events, resume it under
 # REPRO_OBS=full, and re-assert byte-identity — observability must stay
 # strictly on the wall-clock side of the kill-and-resume contract even
@@ -14,6 +15,15 @@ export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
+
+# The newest journaled checkpoint generation of a campaign directory.
+latest_ckpt() {
+    python - "$1" <<'PY'
+import sys
+from repro.orchestrator.checkpoint import CheckpointStore
+print(CheckpointStore(sys.argv[1], sweep=False).checkpoint_path)
+PY
+}
 
 SPEC=(--preset tiny --protocol http --phi 0.95 --waves 3
       --reseed-mode interval --reseed-interval 0
@@ -55,7 +65,7 @@ PY
 
 echo "== diff deterministic artifacts: off vs full-under-faults"
 diff "$WORK/off.json" "$WORK/full.json"
-cmp "$WORK/off/checkpoint.npz" "$WORK/full/checkpoint.npz"
+cmp "$(latest_ckpt "$WORK/off")" "$(latest_ckpt "$WORK/full")"
 
 echo "== toggle arm: kill under REPRO_OBS=events, resume under full"
 python -m repro.orchestrator plan --dir "$WORK/toggle" "${SPEC[@]}" \
@@ -64,10 +74,10 @@ REPRO_OBS=events REPRO_DIST_WORKERS=2 REPRO_DIST_SHARD_DELAY=0.5 \
 python -m repro.orchestrator run --dir "$WORK/toggle" &
 PID=$!
 for _ in $(seq 1 120); do
-    [ -f "$WORK/toggle/checkpoint.npz" ] && break
+    compgen -G "$WORK/toggle/checkpoint.*.npz" > /dev/null && break
     sleep 0.5
 done
-[ -f "$WORK/toggle/checkpoint.npz" ] || {
+compgen -G "$WORK/toggle/checkpoint.*.npz" > /dev/null || {
     echo "no checkpoint appeared within 60s" >&2; exit 1; }
 sleep 1
 kill -TERM "$PID" 2>/dev/null || true
@@ -80,7 +90,7 @@ python -m repro.orchestrator resume --dir "$WORK/toggle"
 python -m repro.orchestrator status --dir "$WORK/toggle" --json \
     > "$WORK/toggle.json"
 diff "$WORK/off.json" "$WORK/toggle.json"
-cmp "$WORK/off/checkpoint.npz" "$WORK/toggle/checkpoint.npz"
+cmp "$(latest_ckpt "$WORK/off")" "$(latest_ckpt "$WORK/toggle")"
 python -m repro.obs validate --dir "$WORK/toggle"
 python - "$WORK/toggle/events.jsonl" <<'PY'
 import json, sys

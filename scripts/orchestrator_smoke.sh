@@ -29,10 +29,10 @@ PID=$!
 # races slow runners into a checkpoint-less kill), then give the wave
 # a moment so the signal lands mid-wave rather than at its start.
 for _ in $(seq 1 120); do
-    [ -f "$WORK/interrupted/checkpoint.npz" ] && break
+    compgen -G "$WORK/interrupted/checkpoint.*.npz" > /dev/null && break
     sleep 0.5
 done
-[ -f "$WORK/interrupted/checkpoint.npz" ] || {
+compgen -G "$WORK/interrupted/checkpoint.*.npz" > /dev/null || {
     echo "no checkpoint appeared within 60s" >&2; exit 1; }
 sleep 2
 kill -TERM "$PID" 2>/dev/null || true

@@ -109,10 +109,10 @@ env REPRO_DIST_WORKERS=2 REPRO_DIST_SECRET="$SECRET" \
     python -m repro.orchestrator run --dir "$WORK/killed" &
 PID=$!
 for _ in $(seq 1 120); do
-    [ -f "$WORK/killed/checkpoint.npz" ] && break
+    compgen -G "$WORK/killed/checkpoint.*.npz" > /dev/null && break
     sleep 0.5
 done
-[ -f "$WORK/killed/checkpoint.npz" ] || {
+compgen -G "$WORK/killed/checkpoint.*.npz" > /dev/null || {
     echo "no checkpoint appeared within 60s" >&2; exit 1; }
 sleep 1
 kill -KILL "$PID" 2>/dev/null || true

@@ -37,7 +37,14 @@ Knobs:
   ``events`` (append structured trace events to ``events.jsonl``),
   or ``full`` (events plus the metrics registry and ``metrics.json``).
   Observability is wall-clock-side only: campaign state, merged
-  results, and resume byte-identity are unchanged at every setting.
+  results, and resume byte-identity are unchanged at every setting;
+- ``REPRO_CKPT_KEEP``           — checkpoint generations the store
+  retains (default 2); older generations are pruned after each save,
+  newer ones are the rollback targets when the latest fails
+  verification at resume;
+- ``REPRO_FS_FAULT_PLAN``       — declarative storage chaos plan for
+  the checkpoint store (:mod:`repro.orchestrator.storage_faults`
+  syntax, e.g. ``torn_write@save-2,bitrot@gen-3``).
 """
 
 from __future__ import annotations
@@ -56,6 +63,8 @@ __all__ = [
     "ENV_DIST_ADDRESS_BOOK",
     "ENV_DIST_SECRET",
     "ENV_OBS",
+    "ENV_CKPT_KEEP",
+    "ENV_FS_FAULT_PLAN",
     "OBS_MODES",
     "EXECUTORS",
     "scan_shards",
@@ -69,6 +78,8 @@ __all__ = [
     "dist_address_book",
     "dist_secret",
     "obs_mode",
+    "ckpt_keep",
+    "fs_fault_plan",
 ]
 
 ENV_SCAN_SHARDS = "REPRO_SCAN_SHARDS"
@@ -82,6 +93,8 @@ ENV_DIST_CRASH_LOOP = "REPRO_DIST_CRASH_LOOP"
 ENV_DIST_ADDRESS_BOOK = "REPRO_DIST_ADDRESS_BOOK"
 ENV_DIST_SECRET = "REPRO_DIST_SECRET"
 ENV_OBS = "REPRO_OBS"
+ENV_CKPT_KEEP = "REPRO_CKPT_KEEP"
+ENV_FS_FAULT_PLAN = "REPRO_FS_FAULT_PLAN"
 
 #: The observability modes, least to most recorded.
 OBS_MODES = ("off", "events", "full")
@@ -348,6 +361,55 @@ def obs_mode(explicit=None) -> str:
             f"choose one of {choices}"
         )
     return value
+
+
+def ckpt_keep(explicit=None) -> int:
+    """The validated checkpoint keep-N window (>= 1).
+
+    ``explicit`` wins over ``$REPRO_CKPT_KEEP`` over the default of 2.
+    The newest N checkpoint generations survive each save; everything
+    older is pruned.  1 restores the pre-generation behaviour (a
+    single live checkpoint — and therefore no rollback target when it
+    fails verification at resume).
+    """
+    raw, source = _resolve(explicit, ENV_CKPT_KEEP, 2)
+    try:
+        value = int(str(raw).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"checkpoint keep window must be a positive integer, got "
+            f"{raw!r} (from {source})"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"checkpoint keep window must be >= 1, got {value} "
+            f"(from {source})"
+        )
+    return value
+
+
+def fs_fault_plan(explicit=None):
+    """The validated storage-chaos
+    :class:`~repro.orchestrator.storage_faults.FsFaultPlan`.
+
+    ``explicit`` may be a plan string or an existing ``FsFaultPlan``;
+    otherwise ``$REPRO_FS_FAULT_PLAN`` is parsed; with neither, the
+    empty plan (no injected storage faults).  Syntax errors raise
+    :class:`ValueError` naming the source.
+    """
+    # Imported lazily: the storage fault plane lives next to the
+    # checkpoint store, which imports this module for the other knobs.
+    from repro.orchestrator.storage_faults import FsFaultPlan
+
+    if isinstance(explicit, FsFaultPlan):
+        return explicit
+    raw, source = _resolve(explicit, ENV_FS_FAULT_PLAN, None)
+    try:
+        return FsFaultPlan.parse(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"bad storage fault plan (from {source}): {exc}"
+        ) from None
 
 
 def count_backend(explicit=None) -> str:

@@ -56,12 +56,14 @@ def _status_of(directory: Path) -> dict | None:
     if status is not None:
         return status
     # Mid-campaign (or killed) directory: derive the deterministic
-    # status from the latest checkpoint, exactly like `status` does.
-    if (directory / "checkpoint.npz").exists():
-        from repro.orchestrator.campaign import status_from_manifest
-        from repro.orchestrator.checkpoint import CheckpointStore
+    # status from the latest checkpoint generation, exactly like
+    # `status` does.
+    from repro.orchestrator.campaign import status_from_manifest
+    from repro.orchestrator.checkpoint import CheckpointStore
 
-        manifest, _ = CheckpointStore(directory).load()
+    store = CheckpointStore(directory)
+    if store.has_checkpoint():
+        manifest, _ = store.load()
         return status_from_manifest(manifest)
     return None
 

@@ -58,6 +58,10 @@ EVENT_TYPES: dict[str, frozenset] = {
     "deadline_kill": frozenset({"pid", "index"}),
     "auth_reject": frozenset({"pid"}),
     "fleet_degraded": frozenset({"survivors"}),
+    # -- checkpoint store (storage fault plane) ------------------------
+    "checkpoint.corrupt": frozenset({"gen", "reason"}),
+    "checkpoint.rollback": frozenset({"from_gen", "to_gen"}),
+    "storage.fault_fired": frozenset({"kind", "site"}),
 }
 
 

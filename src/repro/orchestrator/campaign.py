@@ -81,6 +81,15 @@ _VIEWS = (LESS_SPECIFIC, MORE_SPECIFIC)
 #: Ceiling on one wave-retry backoff sleep, whatever the base.
 _RETRY_BACKOFF_CAP = 30.0
 
+#: Attempts per checkpoint save before an OSError propagates.  A save
+#: that fails cleanly (ENOSPC, fsync EIO) consumes no generation number
+#: and leaves the journal untouched, so retrying is always safe.
+_SAVE_ATTEMPTS = 3
+
+#: Base/cap (seconds) of the backoff between save attempts.
+_SAVE_BACKOFF_BASE = 0.05
+_SAVE_BACKOFF_CAP = 1.0
+
 #: Wall-clock sleep between wave retries (module-level so deterministic
 #: tests can stub it out; the sleep is telemetry-side, never state).
 _retry_sleep = time.sleep
@@ -287,6 +296,10 @@ class CampaignRunner:
         manifest, arrays = store.load()
         spec = CampaignSpec.from_dict(manifest["spec"])
         runner = cls(spec, dataset=dataset, directory=directory)
+        # The runner built its own store; carry over any incidents the
+        # load just queued (a rollback, a quarantined generation) so
+        # _drive's drain surfaces them as trace events.
+        runner.store.incidents.extend(store.drain_incidents())
         runner._restore(manifest, arrays)
         # Telemetry counters continue across resumes (like the state
         # they describe); a malformed progress.json degrades to fresh
@@ -356,10 +369,52 @@ class CampaignRunner:
     def _checkpoint(self) -> dict:
         manifest = self._manifest()
         if self.store is not None:
-            self.store.save(manifest, {"mask": self.state.mask})
+            try:
+                for attempt in range(1, _SAVE_ATTEMPTS + 1):
+                    try:
+                        self.store.save(
+                            manifest, {"mask": self.state.mask}
+                        )
+                        break
+                    except OSError:
+                        # A clean save failure left no generation
+                        # behind; the previous checkpoint is still the
+                        # durable resume point, so back off and retry.
+                        # (A SimulatedCrash is deliberately NOT an
+                        # OSError — a dead process cannot retry.)
+                        if attempt == _SAVE_ATTEMPTS:
+                            raise
+                        _retry_sleep(
+                            backoff_delay(
+                                attempt,
+                                _SAVE_BACKOFF_BASE,
+                                _SAVE_BACKOFF_CAP,
+                            )
+                        )
+            finally:
+                self._drain_storage_incidents()
         if self._on_checkpoint is not None:
             self._on_checkpoint(self)
         return manifest
+
+    def _drain_storage_incidents(self) -> None:
+        """Flush the store's pending incidents into the obs plane.
+
+        The store itself never talks to the tracer — ``load()`` runs
+        during :meth:`resume`, *before* any observability scope exists —
+        so corruption/rollback/fault incidents queue on the store and
+        are drained here, inside the campaign's ``observe()`` scope.
+        """
+        if self.store is None:
+            return
+        tracer = obs.get_tracer()
+        registry = obs.get_registry()
+        for incident in self.store.drain_incidents():
+            data = dict(incident)
+            type_ = data.pop("type")
+            tracer.point(type_, **data)
+            if registry is not None:
+                registry.counter(type_).inc()
 
     def _progress(self, pacer=None, manifest=None) -> None:
         if self.store is None:
@@ -459,6 +514,9 @@ class CampaignRunner:
 
     def _drive(self) -> dict:
         state = self.state
+        # Incidents queued before this scope existed (a rollback or
+        # quarantine during resume's load()) surface first.
+        self._drain_storage_incidents()
         tracer = obs.get_tracer()
         span = tracer.begin(
             "campaign",

@@ -1,13 +1,16 @@
-"""``python -m repro.orchestrator`` — plan / run / resume / status.
+"""``python -m repro.orchestrator`` — plan / run / resume / status / verify.
 
 The campaign directory is the unit of state: ``plan`` writes the
 resolved spec there, ``run`` executes it from scratch (checkpointing
 after every shard), ``resume`` continues from the latest checkpoint,
-and ``status`` prints the deterministic status document.  ``run`` and
-``resume`` translate SIGTERM/SIGINT into a clean exit — the durable
-checkpoint already on disk is the resume point, so killing a campaign
-at any moment loses at most one partially drained shard re-scanned on
-resume.
+``status`` prints the deterministic status document, and ``verify``
+fscks every artifact — spec, checkpoint generations (against their
+journaled digests), status, progress, metrics, events — reporting
+per-artifact findings and, with ``--repair``, quarantining or removing
+the damage.  ``run`` and ``resume`` translate SIGTERM/SIGINT into a
+clean exit — the durable checkpoint already on disk is the resume
+point, so killing a campaign at any moment loses at most one partially
+drained shard re-scanned on resume.
 """
 
 from __future__ import annotations
@@ -136,6 +139,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(events.jsonl; requires the campaign to run with "
         "REPRO_OBS=events or full) until the campaign finishes or "
         "Ctrl-C",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="audit every campaign artifact (checkpoint fsck)",
+        description="Audit the campaign directory: the spec, every "
+        "checkpoint generation against its journaled SHA-256 and "
+        "per-array digests, the journal itself, stray tmp files, and "
+        "the status/progress/metrics/events documents.  Exits 0 when "
+        "everything verifies, 1 with a per-artifact report otherwise.",
+    )
+    verify.add_argument("--dir", required=True)
+    verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="fix what can be fixed: quarantine corrupt generations "
+        "and rewind the journal past them, rebuild a lost journal "
+        "from the intact generations, remove stray tmp files and "
+        "malformed derived documents (the exit code still reports "
+        "that problems were found)",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable findings instead of the report lines",
     )
     return parser
 
@@ -339,5 +367,31 @@ def _dispatch(args) -> int:
                 )
             return _follow_events(store)
         return 0
+
+    if args.command == "verify":
+        # sweep=False: the audit must *report* orphaned tmp strays,
+        # not have the store's open-time sweep destroy the evidence.
+        store = CheckpointStore(args.dir, sweep=False)
+        findings = store.audit(repair=args.repair)
+        problems = [f for f in findings if not f["ok"]]
+        if args.json:
+            print(json.dumps(findings, indent=2, sort_keys=True))
+        else:
+            for f in findings:
+                line = (
+                    f"{'ok  ' if f['ok'] else 'FAIL'}  "
+                    f"{f['artifact']}: {f['detail']}"
+                )
+                if f["repaired"]:
+                    line += f" [repaired: {f['repaired']}]"
+                print(line)
+            summary = (
+                "all artifacts verify"
+                if not problems
+                else f"{len(problems)} problem(s) found"
+                + (" (repairs applied)" if args.repair else "")
+            )
+            print(summary, file=sys.stderr)
+        return 1 if problems else 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

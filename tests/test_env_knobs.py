@@ -3,6 +3,7 @@
 import pytest
 
 from repro.env import (
+    ckpt_keep,
     count_backend,
     dist_address_book,
     dist_secret,
@@ -53,6 +54,36 @@ class TestScanShards:
         # int() would silently truncate these; the knob must not.
         with pytest.raises(ValueError, match="positive integer"):
             scan_shards(bad)
+
+
+class TestCkptKeep:
+    def test_defaults_to_two(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CKPT_KEEP", raising=False)
+        assert ckpt_keep() == 2
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CKPT_KEEP", "5")
+        assert ckpt_keep(3) == 3
+        assert ckpt_keep() == 5
+
+    @pytest.mark.parametrize("bad", ["abc", "", "2.5"])
+    def test_non_integer_rejected_with_source(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_CKPT_KEEP", bad)
+        with pytest.raises(ValueError) as excinfo:
+            ckpt_keep()
+        message = str(excinfo.value)
+        assert "positive integer" in message
+        assert "REPRO_CKPT_KEEP" in message
+
+    @pytest.mark.parametrize("bad", ["0", "-1"])
+    def test_non_positive_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_CKPT_KEEP", bad)
+        with pytest.raises(ValueError, match="keep window must be >= 1"):
+            ckpt_keep()
+
+    def test_bad_explicit_names_argument(self):
+        with pytest.raises(ValueError, match=r"\(from argument\)"):
+            ckpt_keep("nope")
 
 
 class TestScanExecutor:

@@ -51,10 +51,12 @@ def _run(spec, directory, on_checkpoint=None):
 
 
 def _deterministic_bytes(directory):
+    from repro.orchestrator.checkpoint import CheckpointStore
+
     status = json.loads((directory / "status.json").read_text())
     return (
         json.dumps(status, sort_keys=True).encode(),
-        (directory / "checkpoint.npz").read_bytes(),
+        CheckpointStore(directory).checkpoint_path.read_bytes(),
     )
 
 
@@ -373,7 +375,9 @@ def test_fresh_run_clears_stale_observability(tmp_path, monkeypatch):
     store.clear()
     assert not (directory / "events.jsonl").exists()
     assert not (directory / "progress.json").exists()
-    assert not (directory / "checkpoint.npz").exists()
+    assert not store.has_checkpoint()
+    assert not store.journal_path.exists()
+    assert not (directory / "status.json").exists()
 
 
 # ---------------------------------------------------------------------------
