@@ -1,0 +1,90 @@
+"""The 128-bit address-family hot paths.
+
+Benchmarks the v6-specific machinery against a generated v6 preset
+(``v6-tiny`` under ``REPRO_BENCH_PRESET=tiny``, ``v6-small``
+otherwise): phi-selection counting over an S16 partition, the
+hitlist + sampled sharded scan, and the big-modulus (Python-int)
+cyclic walk that covers one announced /32.  Every scan variant must
+merge to a byte-identical result — the executor-invariance contract
+re-asserted on the v6 path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.census.loader import get_dataset
+from repro.core.tass import TassStrategy
+from repro.scan.permutation import CyclicPermutation
+from repro.scan.sharded import run_sharded
+
+_PHI = 0.9
+_SAMPLES = 16
+
+
+@pytest.fixture(scope="module")
+def v6_dataset():
+    preset = os.environ.get("REPRO_BENCH_PRESET", "small")
+    v6_preset = "v6-tiny" if preset == "tiny" else "v6-small"
+    return get_dataset(preset=v6_preset, seed=0)
+
+
+@pytest.fixture(scope="module")
+def v6_inputs(v6_dataset):
+    snapshot = v6_dataset.series_for("http").seed_snapshot
+    strategy = TassStrategy(v6_dataset.topology.table, phi=_PHI)
+    selection = strategy.plan(snapshot.addresses)
+    return strategy, selection, snapshot.addresses
+
+
+def test_v6_selection_plan(benchmark, v6_inputs):
+    """Two-searchsorted counting + density ranking on S16 intervals."""
+    strategy, selection, responsive = v6_inputs
+    planned = benchmark(strategy.plan, responsive)
+    assert planned.covered_hosts == selection.covered_hosts
+
+
+def test_v6_sharded_scan(benchmark, v6_inputs):
+    """Hitlist + sampled v6 scan through the sharded executor."""
+    _, selection, responsive = v6_inputs
+    reference = run_sharded(
+        selection,
+        responsive,
+        shards=1,
+        executor="serial",
+        hitlist=responsive.values,
+        samples=_SAMPLES,
+    ).result
+
+    def scan():
+        return run_sharded(
+            selection,
+            responsive,
+            shards=4,
+            executor="serial",
+            hitlist=responsive.values,
+            samples=_SAMPLES,
+        )
+
+    run = benchmark(scan)
+    assert dataclasses.astuple(run.result) == dataclasses.astuple(
+        reference
+    )
+
+
+def test_v6_bigint_walk(benchmark):
+    """First 8k elements of a 2^96-element cyclic walk (one /32)."""
+    permutation = CyclicPermutation(1 << 96, seed=3)
+
+    def drain():
+        seen = 0
+        for batch in permutation.batches(1 << 10):
+            seen += len(batch)
+            if seen >= 1 << 13:
+                break
+        return seen
+
+    assert benchmark(drain) >= 1 << 13

@@ -262,6 +262,23 @@ def count_bitmap(starts, ends, values) -> np.ndarray:
     2^32 space.  Counting an interval is then a vectorized popcount of
     its bit slice via a byte-level cumulative sum.
     """
+    if np.asarray(starts).dtype.kind == "S":
+        # v6 intervals cover up to 2^96 addresses — a one-bit-per-address
+        # bitmap is unbuildable.  Count by covering-interval index +
+        # bincount instead: same contract, one bucket per interval.
+        starts = np.asarray(starts)
+        ends = np.asarray(ends)
+        values = np.asarray(values)
+        if len(starts) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if values.size == 0:
+            return np.zeros(len(starts), dtype=np.int64)
+        idx = np.searchsorted(starts, values, side="right") - 1
+        safe = idx.clip(0)
+        inside = (idx >= 0) & (values < ends[safe])
+        return np.bincount(
+            safe[inside], minlength=len(starts)
+        ).astype(np.int64)
     starts = np.asarray(starts, dtype=np.int64)
     ends = np.asarray(ends, dtype=np.int64)
     values = np.asarray(values, dtype=np.int64)
@@ -310,14 +327,23 @@ def count_trie(starts, ends, values) -> np.ndarray:
     prefix-shaped partitions.
     """
     from repro.bgp.deaggregate import split_range
+    from repro.core.addrspace import space_of
     from repro.core.density import count_lookups, trie_insert
 
-    starts = np.asarray(starts, dtype=np.int64)
-    ends = np.asarray(ends, dtype=np.int64)
+    starts = np.asarray(starts)
+    if starts.dtype.kind == "S":
+        space = space_of(starts)
+        bits = space.bits
+        start_ints = space.decode(starts)
+        end_ints = space.decode(np.asarray(ends))
+    else:
+        bits = 32
+        starts = np.asarray(starts, dtype=np.int64)
+        ends = np.asarray(ends, dtype=np.int64)
+        start_ints = starts.tolist()
+        end_ints = ends.tolist()
     root = [None, None, None]
-    for index, (start, end) in enumerate(
-        zip(starts.tolist(), ends.tolist())
-    ):
-        for prefix in split_range(start, end):
-            trie_insert(root, prefix.network, prefix.length, index)
-    return count_lookups(root, values, len(starts))
+    for index, (start, end) in enumerate(zip(start_ints, end_ints)):
+        for prefix in split_range(start, end, bits):
+            trie_insert(root, prefix.network, prefix.length, index, bits)
+    return count_lookups(root, values, len(start_ints), bits)

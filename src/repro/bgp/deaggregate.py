@@ -14,16 +14,20 @@ from repro.bgp.table import Prefix
 __all__ = ["partition_table", "split_range"]
 
 
-def split_range(start: int, end: int):
-    """Yield maximal aligned CIDR prefixes exactly covering [start, end)."""
+def split_range(start: int, end: int, bits: int = 32):
+    """Yield maximal aligned CIDR prefixes exactly covering [start, end).
+
+    ``bits`` is the address width (32 for IPv4, 128 for IPv6); Python
+    ints are arbitrary precision, so the same arithmetic covers both.
+    """
     while start < end:
         # Largest power-of-two block that is aligned at `start`...
-        align = start & -start if start else 1 << 32
+        align = start & -start if start else 1 << bits
         # ...and does not overshoot the range.
         span = end - start
         block = 1 << (span.bit_length() - 1)
         size = min(align, block)
-        yield Prefix(start, 32 - (size.bit_length() - 1))
+        yield Prefix(start, bits - (size.bit_length() - 1), bits)
         start += size
 
 
@@ -46,10 +50,10 @@ def partition_table(forest, top_level):
             return
         cursor = prefix.start
         for child in children:
-            parts.extend(split_range(cursor, child.start))
+            parts.extend(split_range(cursor, child.start, prefix.bits))
             visit(child)
             cursor = child.end
-        parts.extend(split_range(cursor, prefix.end))
+        parts.extend(split_range(cursor, prefix.end, prefix.bits))
 
     for prefix in sorted(top_level, key=lambda p: p.network):
         visit(prefix)

@@ -19,10 +19,13 @@ benchmark compares against).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import ipaddress
+from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
+
+from repro.core.addrspace import V4, space_of
 
 __all__ = [
     "LESS_SPECIFIC",
@@ -41,14 +44,29 @@ LESS_SPECIFIC = "less-specific"
 MORE_SPECIFIC = "more-specific"
 
 
+def _as_address_array(values) -> np.ndarray:
+    """Coerce to a family-native address array.
+
+    The historical behaviour — ``np.asarray(values, dtype=np.int64)`` —
+    is preserved verbatim for everything except 16-byte string arrays,
+    which pass through unchanged (the v6 representation; see
+    :mod:`repro.core.addrspace`).
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind == "S":
+        return space_of(arr).asarray(arr)
+    return np.asarray(values, dtype=np.int64)
+
+
 def interval_membership(starts, ends, values) -> np.ndarray:
     """Mask: which values fall inside a sorted disjoint ``[start, end)`` set.
 
     The shared one-``searchsorted`` membership idiom used by partitions,
     selections, and blocklists alike.  ``starts``/``ends`` must be sorted
-    and non-overlapping.
+    and non-overlapping.  Works for both families: lexicographic order
+    on the v6 byte strings is numeric order.
     """
-    values = np.asarray(values, dtype=np.int64)
+    values = _as_address_array(values)
     idx = np.searchsorted(starts, values, side="right") - 1
     return (idx >= 0) & (values < ends[idx.clip(0)])
 
@@ -60,7 +78,7 @@ def count_in_intervals(starts, ends, values) -> np.ndarray:
     inside ``[start_i, end_i)`` is the difference of the two insertion
     points.  O((n + m) log) for the whole interval set.
     """
-    values = np.asarray(values, dtype=np.int64)
+    values = _as_address_array(values)
     lo = np.searchsorted(values, starts, side="left")
     hi = np.searchsorted(values, ends, side="left")
     return hi - lo
@@ -75,10 +93,25 @@ def coalesce_intervals(starts, ends):
     adjacent prefixes) shrink to a handful of runs, which shrinks every
     downstream ``searchsorted`` table.  Returns ``(starts, ends)``.
     """
-    starts = np.asarray(starts, dtype=np.int64)
-    ends = np.asarray(ends, dtype=np.int64)
+    starts = _as_address_array(starts)
+    ends = _as_address_array(ends)
     if len(starts) <= 1:
         return starts, ends
+    if starts.dtype.kind == "S":
+        # ``np.maximum`` has no S16 loop; interval tables are small, so
+        # the v6 family coalesces through exact Python-int scans.
+        space = space_of(starts)
+        s = space.decode(starts)
+        e = space.decode(ends)
+        out_s = [s[0]]
+        out_e = [e[0]]
+        for a, b in zip(s[1:], e[1:]):
+            if a > out_e[-1]:
+                out_s.append(a)
+                out_e.append(b)
+            elif b > out_e[-1]:
+                out_e[-1] = b
+        return space.encode(out_s), space.encode(out_e)
     reach = np.maximum.accumulate(ends)
     fresh = np.empty(len(starts), dtype=bool)
     fresh[0] = True
@@ -99,14 +132,20 @@ def int_to_ip(value: int) -> str:
 
 @dataclass(frozen=True, slots=True)
 class Prefix:
-    """An IPv4 CIDR prefix as (network integer, mask length)."""
+    """A CIDR prefix as (network integer, mask length, address width).
+
+    ``bits`` is the family width: 32 for IPv4 (the default, so every
+    existing call site is unchanged) or 128 for IPv6, where ``network``
+    is an arbitrary-precision Python int.
+    """
 
     network: int
     length: int
+    bits: int = field(default=32)
 
     @property
     def size(self) -> int:
-        return 1 << (32 - self.length)
+        return 1 << (self.bits - self.length)
 
     @property
     def start(self) -> int:
@@ -125,9 +164,13 @@ class Prefix:
     @classmethod
     def from_cidr(cls, cidr: str) -> "Prefix":
         net, length = cidr.split("/")
+        if ":" in net:
+            return cls(int(ipaddress.IPv6Address(net)), int(length), 128)
         return cls(ip_to_int(net), int(length))
 
     def __str__(self) -> str:
+        if self.bits == 128:
+            return f"{ipaddress.IPv6Address(self.network)}/{self.length}"
         return f"{int_to_ip(self.network)}/{self.length}"
 
 
@@ -153,8 +196,11 @@ class Partition:
     )
 
     def __init__(self, starts, ends, prefixes=None, count_backend=None):
-        self.starts = np.asarray(starts, dtype=np.int64)
-        self.ends = np.asarray(ends, dtype=np.int64)
+        self.starts = _as_address_array(starts)
+        self.ends = _as_address_array(ends)
+        self.space = space_of(self.starts)
+        if self.starts.dtype != self.ends.dtype:
+            raise ValueError("starts/ends address-family mismatch")
         if self.starts.shape != self.ends.shape:
             raise ValueError("starts/ends length mismatch")
         if len(self.starts) > 1 and not (
@@ -169,6 +215,12 @@ class Partition:
     @classmethod
     def from_prefixes(cls, prefixes, count_backend=None) -> "Partition":
         prefixes = sorted(prefixes, key=lambda p: p.network)
+        if prefixes and prefixes[0].bits == 128:
+            from repro.core.addrspace import V6
+
+            starts = V6.encode([p.start for p in prefixes])
+            ends = V6.encode([p.end for p in prefixes])
+            return cls(starts, ends, prefixes, count_backend=count_backend)
         starts = np.fromiter(
             (p.start for p in prefixes), dtype=np.int64, count=len(prefixes)
         )
@@ -184,7 +236,24 @@ class Partition:
 
     @cached_property
     def sizes(self) -> np.ndarray:
+        """Per-interval sizes.
+
+        v4: exact ``int64`` (unchanged).  v6: ``float64`` — interval
+        sizes reach 2^96+, beyond int64; power-of-two sizes are exactly
+        representable in float64, which is all density ranking needs.
+        Exact accounting must use :meth:`sizes_exact` /
+        :meth:`address_count` / :meth:`masked_address_count`.
+        """
+        if self.space.bits != 32:
+            return self.space.interval_sizes_float(self.starts, self.ends)
         return self.ends - self.starts
+
+    @cached_property
+    def sizes_exact(self) -> tuple:
+        """Per-interval sizes as exact Python ints (both families)."""
+        return tuple(
+            self.space.interval_sizes_exact(self.starts, self.ends)
+        )
 
     @property
     def prefixes(self):
@@ -196,17 +265,42 @@ class Partition:
 
     @cached_property
     def lengths(self) -> np.ndarray:
-        """Per-part prefix length (32 - log2 size for aligned parts)."""
+        """Per-part prefix length, exact (``bits - log2 size``).
+
+        Interval-based partitions must have power-of-two aligned sizes
+        for a length to exist; non-power-of-two intervals (possible
+        after coalescing) used to round through ``log2`` and silently
+        produce a wrong length — now they raise.
+        """
         if self._prefixes is not None:
             return np.fromiter(
                 (p.length for p in self._prefixes),
                 dtype=np.int64,
                 count=len(self._prefixes),
             )
-        return 32 - np.round(np.log2(self.sizes)).astype(np.int64)
+        bits = self.space.bits
+        lengths = np.empty(len(self), dtype=np.int64)
+        for i, size in enumerate(self.sizes_exact):
+            if size <= 0 or size & (size - 1):
+                raise ValueError(
+                    f"interval {i} has non-power-of-two size {size}; "
+                    "prefix lengths are undefined for unaligned intervals"
+                )
+            lengths[i] = bits - (size.bit_length() - 1)
+        return lengths
 
     def address_count(self) -> int:
+        """Total covered addresses as an exact Python int."""
+        if self.space.bits != 32:
+            return sum(self.sizes_exact)
         return int(self.sizes.sum())
+
+    def masked_address_count(self, mask) -> int:
+        """Exact covered-address count over a boolean part mask."""
+        if self.space.bits != 32:
+            sizes = self.sizes_exact
+            return sum(sizes[i] for i in np.flatnonzero(mask))
+        return int(self.sizes[mask].sum())
 
     # -- vectorized hot paths -----------------------------------------
 
@@ -231,7 +325,7 @@ class Partition:
 
     def index_of(self, values: np.ndarray) -> np.ndarray:
         """Covering-interval index per address (-1 when uncovered)."""
-        values = np.asarray(values, dtype=np.int64)
+        values = _as_address_array(values)
         idx = np.searchsorted(self.starts, values, side="right") - 1
         safe = idx.clip(0)
         inside = (idx >= 0) & (values < self.ends[safe])

@@ -1,6 +1,10 @@
-"""Sorted-array IPv4 address sets.
+"""Sorted-array address sets (IPv4 ``int64`` or IPv6 ``S16``).
 
-An :class:`AddressSet` is a sorted, duplicate-free ``int64`` NumPy array.
+An :class:`AddressSet` is a sorted, duplicate-free NumPy array — plain
+``int64`` for the v4 family, or 16-byte big-endian strings (``S16``,
+see :mod:`repro.core.addrspace`) for 128-bit v6 addresses, whose
+lexicographic order is numeric order so every idiom below works on both
+families unchanged.
 All set algebra is array-at-a-time: union is a single vectorized merge of
 the two sorted operands, intersection/difference/membership are
 ``searchsorted`` passes.  This representation is what makes the rest of
@@ -13,13 +17,23 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.addrspace import space_of
+
 __all__ = ["AddressSet"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
+def _coerce(values) -> np.ndarray:
+    """Family-preserving coercion: S16 passes through, the rest is int64."""
+    arr = np.asarray(values)
+    if arr.dtype.kind == "S":
+        return space_of(arr).asarray(arr)
+    return np.asarray(values, dtype=np.int64)
+
+
 def _as_sorted_unique(values) -> np.ndarray:
-    arr = np.asarray(values, dtype=np.int64)
+    arr = _coerce(values)
     if arr.ndim != 1:
         arr = arr.reshape(-1)
     return np.unique(arr)  # sorts and removes duplicates
@@ -32,7 +46,7 @@ class AddressSet:
 
     def __init__(self, values=(), *, assume_sorted_unique: bool = False):
         if assume_sorted_unique:
-            arr = np.asarray(values, dtype=np.int64)
+            arr = _coerce(values)
         else:
             arr = _as_sorted_unique(values)
         arr.setflags(write=False)
@@ -46,8 +60,13 @@ class AddressSet:
 
     @property
     def values(self) -> np.ndarray:
-        """The sorted, unique int64 address array (read-only view)."""
+        """The sorted, unique address array (read-only view)."""
         return self._values
+
+    @property
+    def space(self):
+        """The :class:`~repro.core.addrspace.AddressSpace` of this set."""
+        return space_of(self._values)
 
     def __len__(self) -> int:
         return int(self._values.shape[0])
@@ -56,7 +75,12 @@ class AddressSet:
         return len(self) > 0
 
     def __iter__(self):
-        return iter(self._values)
+        # Yield Python ints, not NumPy scalars: iteration is the JSON /
+        # telemetry boundary, and ``np.int64`` is not JSON-serializable.
+        if self._values.dtype.kind == "S":
+            decode = self.space.decode_scalar
+            return iter([decode(v) for v in self._values])
+        return iter(self._values.tolist())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AddressSet(n={len(self)})"
@@ -73,8 +97,14 @@ class AddressSet:
 
     def __contains__(self, address) -> bool:
         a = self._values
+        if a.dtype.kind == "S" and isinstance(address, int):
+            address = self.space.encode_scalar(address)
         i = int(np.searchsorted(a, address))
-        return i < len(a) and int(a[i]) == int(address)
+        if i >= len(a):
+            return False
+        if a.dtype.kind == "S":
+            return bool(a[i] == np.asarray(address, dtype=a.dtype)[()])
+        return int(a[i]) == int(address)
 
     # -- vectorized membership ----------------------------------------
 
@@ -85,7 +115,7 @@ class AddressSet:
         O(m log n) pass a zmap-class simulator runs per probe batch.
         """
         a = self._values
-        probes = np.asarray(probes, dtype=np.int64)
+        probes = _coerce(probes)
         if len(a) == 0 or probes.size == 0:
             return np.zeros(probes.shape, dtype=bool)
         idx = np.searchsorted(a, probes)
@@ -121,7 +151,7 @@ class AddressSet:
             (self, other) if len(self) <= len(other) else (other, self)
         )
         if len(small) == 0:
-            return AddressSet._trusted(_EMPTY)
+            return AddressSet._trusted(small._values)
         return AddressSet._trusted(
             small._values[big.membership(small._values)]
         )

@@ -19,6 +19,7 @@ import numpy as np
 from repro.census.addrset import AddressSet
 from repro.census.synth import KINDS, PRESETS, generate_world
 from repro.bgp.table import Prefix, RoutingTable
+from repro.core.addrspace import V6
 
 __all__ = [
     "LOADER_VERSION",
@@ -106,6 +107,12 @@ class CensusDataset:
         self.protocols = sorted(self._series)
         self.kind_names = list(KINDS)
 
+    @property
+    def family(self) -> str:
+        """The address family of this dataset (from its prefix width)."""
+        prefixes = self.topology.table.l_prefixes
+        return "v6" if prefixes and prefixes[0].bits == 128 else "v4"
+
     def series_for(self, protocol: str) -> SnapshotSeries:
         return self._series[protocol]
 
@@ -143,10 +150,35 @@ class CensusDataset:
         for parent in prefixes:
             for child in table.children_of(parent):
                 parents[index[child]] = index[parent]
+        if self.family == "v6":
+            # 128-bit networks/blocks don't fit int64: store them in the
+            # S16 wire representation under v6-only keys (the v4 cache
+            # format is untouched, so LOADER_VERSION stays put).
+            network_arrays = {
+                "pfx_network6": V6.encode([p.network for p in prefixes]),
+            }
+            block_arrays = {
+                "blocks6": V6.encode(
+                    [
+                        bound
+                        for block in self.topology.allocated_blocks
+                        for bound in block
+                    ]
+                ),
+            }
+        else:
+            network_arrays = {
+                "pfx_network": np.fromiter(
+                    (p.network for p in prefixes), np.int64, len(prefixes)
+                ),
+            }
+            block_arrays = {
+                "blocks": np.asarray(
+                    self.topology.allocated_blocks, dtype=np.int64
+                ),
+            }
         arrays = {
-            "pfx_network": np.fromiter(
-                (p.network for p in prefixes), np.int64, len(prefixes)
-            ),
+            **network_arrays,
             "pfx_length": np.fromiter(
                 (p.length for p in prefixes), np.int64, len(prefixes)
             ),
@@ -156,9 +188,7 @@ class CensusDataset:
                 np.int64,
                 len(prefixes),
             ),
-            "blocks": np.asarray(
-                self.topology.allocated_blocks, dtype=np.int64
-            ),
+            **block_arrays,
         }
         for protocol, series in self._series.items():
             for m, snap in enumerate(series):
@@ -172,6 +202,8 @@ class CensusDataset:
             "protocols": self.protocols,
             "months": self.months,
         }
+        if self.family != "v4":
+            meta["family"] = self.family
         tmp = path.with_suffix(".tmp.npz")
         with open(tmp, "wb") as fh:
             np.savez_compressed(fh, meta=json.dumps(meta), **arrays)
@@ -183,14 +215,22 @@ class CensusDataset:
             meta = json.loads(str(data["meta"]))
             if meta["version"] != LOADER_VERSION:
                 raise ValueError("dataset cache version mismatch")
-            networks = data["pfx_network"]
+            family = meta.get("family", "v4")
             lengths = data["pfx_length"]
             parents = data["pfx_parent"]
             asn_arr = data["pfx_asn"]
-            prefixes = [
-                Prefix(int(n), int(l))
-                for n, l in zip(networks.tolist(), lengths.tolist())
-            ]
+            if family == "v6":
+                networks = V6.decode(data["pfx_network6"])
+                prefixes = [
+                    Prefix(n, int(l), 128)
+                    for n, l in zip(networks, lengths.tolist())
+                ]
+            else:
+                networks = data["pfx_network"]
+                prefixes = [
+                    Prefix(int(n), int(l))
+                    for n, l in zip(networks.tolist(), lengths.tolist())
+                ]
             children = {}
             l_prefixes = []
             for i, parent_idx in enumerate(parents.tolist()):
@@ -204,7 +244,14 @@ class CensusDataset:
             asns = {
                 p: int(a) for p, a in zip(prefixes, asn_arr.tolist())
             }
-            blocks = [tuple(b) for b in data["blocks"].tolist()]
+            if family == "v6":
+                bounds = V6.decode(data["blocks6"])
+                blocks = [
+                    (bounds[i], bounds[i + 1])
+                    for i in range(0, len(bounds), 2)
+                ]
+            else:
+                blocks = [tuple(b) for b in data["blocks"].tolist()]
             series = {}
             for protocol in meta["protocols"]:
                 snaps = [

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bgp.table import Prefix, RoutingTable
+from repro.core.addrspace import V6
 
 __all__ = [
     "PROTOCOLS",
@@ -51,6 +52,12 @@ _KIND_PROBS_SPARSE = np.array([0.12, 0.48, 0.18, 0.22])
 #: First octets of the allocated /8 blocks (stays clear of all
 #: special-use space, so the default blocklist never intersects it).
 _SAFE_SLASH8 = tuple(range(1, 10)) + tuple(range(11, 100))
+
+#: v6 allocations are /20 blocks inside 2000::/4 (global unicast):
+#: block ``o`` spans ``[(0x20000 + o) << 108, (0x20001 + o) << 108)``.
+_V6_BLOCK_BASE = 0x20000
+_V6_BLOCK_SHIFT = 108
+_V6_BLOCK_SLOTS = 4096
 
 
 @dataclass(frozen=True)
@@ -97,12 +104,41 @@ class PresetSpec:
     deagg_frac: float = 0.45  # l-prefixes with a more-specific layer
     nest_frac: float = 0.15  # children deaggregated a second level
     explore_frac: float = 0.01  # births/moves landing uniformly at random
+    # -- v6-only knobs (ignored for the v4 family) ----------------------
+    family: str = "v4"  # address family: "v4" or "v6"
+    prefixes_per_block: int = 0  # v6 carve cap (allocations are sparse)
+    subnets_per_prefix: int = 12  # active /64s per announced v6 prefix
+    iid_bits: int = 16  # interface-ID entropy (low: hitlist-style hosts)
 
 
 PRESETS = {
     "tiny": PresetSpec(name="tiny", n_blocks=2, hosts=4000),
     "small": PresetSpec(name="small", n_blocks=8, hosts=60000),
     "medium": PresetSpec(name="medium", n_blocks=32, hosts=1_000_000),
+    # v6 presets: BGP-announced blocks carved from /20 allocations with
+    # realistic announcement lengths (/29../48); hosts concentrate in a
+    # few active /64s per prefix with low-entropy interface IDs — the
+    # hitlist-discoverable population structure of the v6 literature.
+    "v6-tiny": PresetSpec(
+        name="v6-tiny",
+        n_blocks=2,
+        hosts=4000,
+        family="v6",
+        length_choices=(29, 32, 32, 36, 40, 44, 48),
+        length_weights=(0.08, 0.22, 0.22, 0.18, 0.14, 0.10, 0.06),
+        dense_min_length=36,
+        prefixes_per_block=28,
+    ),
+    "v6-small": PresetSpec(
+        name="v6-small",
+        n_blocks=6,
+        hosts=60000,
+        family="v6",
+        length_choices=(29, 32, 32, 36, 40, 44, 48),
+        length_weights=(0.08, 0.22, 0.22, 0.18, 0.14, 0.10, 0.06),
+        dense_min_length=36,
+        prefixes_per_block=60,
+    ),
 }
 
 
@@ -112,54 +148,82 @@ PRESETS = {
 
 
 def _carve_block(rng, block_start, block_end, spec):
-    """Carve disjoint l-prefixes into one allocated block, leaving holes."""
+    """Carve disjoint l-prefixes into one allocated block, leaving holes.
+
+    The same carving walk serves both families (Python-int cursor
+    arithmetic is width-agnostic); the v6 family additionally caps the
+    number of announcements per block — real v6 allocations are only
+    sparsely announced, and an uncapped walk over a /20 in /48 steps
+    would take 2^28 iterations.
+    """
+    bits = 128 if spec.family == "v6" else 32
+    cap = spec.prefixes_per_block if spec.family == "v6" else None
     lengths = np.asarray(spec.length_choices)
     weights = np.asarray(spec.length_weights, dtype=float)
     weights = weights / weights.sum()
     prefixes = []
     cursor = block_start
     while cursor < block_end:
+        if cap is not None and len(prefixes) >= cap:
+            break
         length = int(rng.choice(lengths, p=weights))
-        size = 1 << (32 - length)
+        size = 1 << (bits - length)
         aligned = -(-cursor // size) * size  # align up
         if aligned + size > block_end:
             # Finish the block with the smallest configured prefix size.
             length = int(lengths[-1])
-            size = 1 << (32 - length)
+            size = 1 << (bits - length)
             aligned = -(-cursor // size) * size
             if aligned + size > block_end:
                 break
         if rng.random() >= spec.announce_gap:
-            prefixes.append(Prefix(int(aligned), length))
+            prefixes.append(Prefix(int(aligned), length, bits))
         cursor = aligned + size
     return prefixes
 
 
 def _deaggregate(rng, parent, max_extra=4):
     """Announce a handful of disjoint more-specifics beneath ``parent``."""
+    # Deaggregation bottoms out at /24 (v4) or /48 (v6) — the
+    # propagation-filter limits of the respective DFZs.
+    max_length = 48 if parent.bits == 128 else 24
     children = []
     cursor = parent.start
     while cursor < parent.end and len(children) < max_extra:
         delta = int(rng.integers(1, 4))
-        length = min(parent.length + delta, 24)
+        length = min(parent.length + delta, max_length)
         if length <= parent.length:
             break
-        size = 1 << (32 - length)
+        size = 1 << (parent.bits - length)
         aligned = -(-cursor // size) * size
         if aligned + size > parent.end:
             break
         if rng.random() < 0.5:
-            children.append(Prefix(int(aligned), length))
+            children.append(Prefix(int(aligned), length, parent.bits))
         cursor = aligned + size
     return children
 
 
 def generate_topology(rng, spec):
     """Build the synthetic routing table and its origin-AS map."""
-    octets = rng.choice(
-        np.asarray(_SAFE_SLASH8), size=spec.n_blocks, replace=False
-    )
-    blocks = [(int(o) << 24, (int(o) + 1) << 24) for o in sorted(octets)]
+    if spec.family == "v6":
+        slots = rng.choice(
+            _V6_BLOCK_SLOTS, size=spec.n_blocks, replace=False
+        )
+        blocks = [
+            (
+                (_V6_BLOCK_BASE + int(o)) << _V6_BLOCK_SHIFT,
+                (_V6_BLOCK_BASE + int(o) + 1) << _V6_BLOCK_SHIFT,
+            )
+            for o in sorted(slots)
+        ]
+    else:
+        octets = rng.choice(
+            np.asarray(_SAFE_SLASH8), size=spec.n_blocks, replace=False
+        )
+        blocks = [
+            (int(o) << 24, (int(o) + 1) << 24) for o in sorted(octets)
+        ]
     l_prefixes = []
     for start, end in blocks:
         l_prefixes.extend(_carve_block(rng, start, end, spec))
@@ -167,10 +231,12 @@ def generate_topology(rng, spec):
     children = {}
     asns = {}
     next_asn = 64512
+    deagg_floor = 44 if spec.family == "v6" else 22
+    nest_floor = deagg_floor
     for parent in l_prefixes:
         asns[parent] = next_asn
         next_asn += 1
-        if parent.length >= 22 or rng.random() >= spec.deagg_frac:
+        if parent.length >= deagg_floor or rng.random() >= spec.deagg_frac:
             continue
         kids = _deaggregate(rng, parent)
         if not kids:
@@ -180,7 +246,7 @@ def generate_topology(rng, spec):
             # Deaggregation is often by a customer AS of the aggregate.
             asns[kid] = asns[parent] if rng.random() < 0.7 else next_asn
             next_asn += 1
-            if kid.length <= 22 and rng.random() < spec.nest_frac:
+            if kid.length <= nest_floor and rng.random() < spec.nest_frac:
                 grandkids = _deaggregate(rng, kid, max_extra=2)
                 if grandkids:
                     children[kid] = grandkids
@@ -245,6 +311,42 @@ class _World:
         return out
 
 
+class _WorldV6(_World):
+    """v6 placement: hosts concentrate in a few active /64s per prefix.
+
+    Each announced prefix gets ``spec.subnets_per_prefix`` active /64
+    subnets (chosen once per protocol world); a host address is one of
+    those subnets plus a low-entropy interface ID — the structure that
+    makes hitlist seeding work and exhaustive scanning pointless.
+    Addresses are built vectorized from (hi, lo) uint64 halves; no
+    per-host Python loop.
+    """
+
+    def __init__(self, partition, weights, is_dense, spec, rng):
+        super().__init__(partition, weights, is_dense, spec, rng)
+        # Announced lengths are <= 48 < 64, so every prefix start is
+        # /64-aligned and its top 64 bits identify the first subnet.
+        start_ints = V6.decode(partition.starts)
+        self._starts_hi = np.array(
+            [s >> 64 for s in start_ints], dtype=np.uint64
+        )
+        sizes = partition.sizes_exact
+        k = spec.subnets_per_prefix
+        table = np.empty((len(partition), k), dtype=np.uint64)
+        for i, size in enumerate(sizes):
+            subnet_count = size >> 64  # /64 subnets in this prefix
+            table[i] = rng.integers(0, subnet_count, k, dtype=np.uint64)
+        self._subnets = table
+
+    def uniform_addresses(self, prefix_idx: np.ndarray) -> np.ndarray:
+        rng = self.rng
+        n = len(prefix_idx)
+        slot = rng.integers(0, self._subnets.shape[1], n)
+        iid = rng.integers(1, 1 << self.spec.iid_bits, n).astype(np.uint64)
+        hi = self._starts_hi[prefix_idx] + self._subnets[prefix_idx, slot]
+        return V6.from_hi_lo(hi, iid)
+
+
 def _base_weights(rng, partition, spec):
     """Heavy-tailed per-prefix density weights with a dense core."""
     n = len(partition)
@@ -298,9 +400,17 @@ def _evolve(world, rates, addr, hid, kind, next_hid):
     ridx = np.flatnonzero(renumber)
     short = rng.random(len(ridx)) < rates.short_renumber
     sidx, lidx = ridx[short], ridx[~short]
-    new_addr[sidx] = (addr[sidx] & ~np.int64(0xFF)) | rng.integers(
-        0, 256, len(sidx)
-    )
+    if addr.dtype.kind == "S":
+        # v6 short renumber: same /64 subnet, fresh interface ID.
+        hi, _ = V6.to_hi_lo(addr[sidx])
+        iid = rng.integers(
+            1, 1 << world.spec.iid_bits, len(sidx)
+        ).astype(np.uint64)
+        new_addr[sidx] = V6.from_hi_lo(hi, iid)
+    else:
+        new_addr[sidx] = (addr[sidx] & ~np.int64(0xFF)) | rng.integers(
+            0, 256, len(sidx)
+        )
     if len(lidx):
         owner = world.partition.index_of(addr[lidx])
         new_addr[lidx] = world.uniform_addresses(owner)
@@ -343,7 +453,8 @@ def generate_census(rng, spec, table):
         weights = base_weights * rng.lognormal(
             0.0, spec.protocol_sigma, len(partition)
         )
-        world = _World(partition, weights, is_dense, spec, rng)
+        world_cls = _WorldV6 if spec.family == "v6" else _World
+        world = world_cls(partition, weights, is_dense, spec, rng)
         n_hosts = int(spec.hosts * _POPULATION_SCALE[protocol])
         (addr, hid, kind), next_hid = _seed_snapshot(world, n_hosts)
         months = [(addr, hid, kind)]

@@ -25,10 +25,14 @@ __all__ = [
 _ZERO, _ONE, _INDEX = 0, 1, 2
 
 
-def trie_insert(root, network: int, length: int, index: int) -> None:
-    """Insert one prefix, mapping its subtree to ``index``."""
+def trie_insert(root, network: int, length: int, index: int,
+                bits: int = 32) -> None:
+    """Insert one prefix, mapping its subtree to ``index``.
+
+    ``bits`` is the address width (32 for IPv4, 128 for IPv6).
+    """
     node = root
-    for bit in range(31, 31 - length, -1):
+    for bit in range(bits - 1, bits - 1 - length, -1):
         side = (network >> bit) & 1
         child = node[side]
         if child is None:
@@ -41,15 +45,16 @@ def trie_insert(root, network: int, length: int, index: int) -> None:
 def build_trie(partition):
     """Build a binary radix trie mapping addresses to partition indices."""
     root = [None, None, None]
+    bits = partition.space.bits
     for index, prefix in enumerate(partition.prefixes):
-        trie_insert(root, prefix.network, prefix.length, index)
+        trie_insert(root, prefix.network, prefix.length, index, bits=bits)
     return root
 
 
-def lookup(root, address: int):
+def lookup(root, address: int, bits: int = 32):
     """Longest-prefix-match one address; returns the part index or None."""
     node = root
-    bit = 31
+    bit = bits - 1
     best = None
     while node is not None:
         if node[_INDEX] is not None:
@@ -61,11 +66,18 @@ def lookup(root, address: int):
     return best
 
 
-def count_lookups(root, values, size: int) -> np.ndarray:
+def count_lookups(root, values, size: int, bits: int = 32) -> np.ndarray:
     """LPM every address through the trie; per-index occupancy counts."""
     counts = np.zeros(size, dtype=np.int64)
-    for address in map(int, np.asarray(values)):
-        index = lookup(root, address)
+    arr = np.asarray(values)
+    if arr.dtype.kind == "S":
+        from repro.core.addrspace import space_of
+
+        addresses = space_of(arr).decode(arr)
+    else:
+        addresses = map(int, arr)
+    for address in addresses:
+        index = lookup(root, address, bits)
         if index is not None:
             counts[index] += 1
     return counts
@@ -79,4 +91,7 @@ def count_with_trie(addresses, partition) -> np.ndarray:
     cost model of a naive scanner implementation.
     """
     values = getattr(addresses, "values", addresses)
-    return count_lookups(build_trie(partition), values, len(partition))
+    return count_lookups(
+        build_trie(partition), values, len(partition),
+        bits=partition.space.bits,
+    )

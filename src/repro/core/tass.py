@@ -62,6 +62,11 @@ class Selection:
 
     def selected_address_count(self) -> int:
         """Total address-space size of the selected prefixes."""
+        if self.starts.dtype.kind == "S":
+            # 128-bit interval sizes overflow int64; sum exactly in
+            # Python ints via the partition's exact size table.
+            sizes = self.partition.sizes_exact
+            return sum(sizes[i] for i in self.indices.tolist())
         return int((self.ends - self.starts).sum())
 
     def probe_count(self) -> int:

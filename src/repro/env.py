@@ -44,7 +44,11 @@ Knobs:
   verification at resume;
 - ``REPRO_FS_FAULT_PLAN``       — declarative storage chaos plan for
   the checkpoint store (:mod:`repro.orchestrator.storage_faults`
-  syntax, e.g. ``torn_write@save-2,bitrot@gen-3``).
+  syntax, e.g. ``torn_write@save-2,bitrot@gen-3``);
+- ``REPRO_ADDR_FAMILY``         — the address family campaigns run in:
+  ``v4`` (default — today's exhaustive int64 pipeline) or ``v6``
+  (128-bit addresses, hitlist/prefix-seeded targeting; see
+  :mod:`repro.core.addrspace`).
 """
 
 from __future__ import annotations
@@ -65,7 +69,9 @@ __all__ = [
     "ENV_OBS",
     "ENV_CKPT_KEEP",
     "ENV_FS_FAULT_PLAN",
+    "ENV_ADDR_FAMILY",
     "OBS_MODES",
+    "ADDR_FAMILIES",
     "EXECUTORS",
     "scan_shards",
     "scan_executor",
@@ -80,6 +86,7 @@ __all__ = [
     "obs_mode",
     "ckpt_keep",
     "fs_fault_plan",
+    "addr_family",
 ]
 
 ENV_SCAN_SHARDS = "REPRO_SCAN_SHARDS"
@@ -95,9 +102,13 @@ ENV_DIST_SECRET = "REPRO_DIST_SECRET"
 ENV_OBS = "REPRO_OBS"
 ENV_CKPT_KEEP = "REPRO_CKPT_KEEP"
 ENV_FS_FAULT_PLAN = "REPRO_FS_FAULT_PLAN"
+ENV_ADDR_FAMILY = "REPRO_ADDR_FAMILY"
 
 #: The observability modes, least to most recorded.
 OBS_MODES = ("off", "events", "full")
+
+#: The address families the pipeline runs in.
+ADDR_FAMILIES = ("v4", "v6")
 
 
 def _executor_choices() -> tuple[str, ...]:
@@ -430,3 +441,23 @@ def count_backend(explicit=None) -> str:
             f"available: {available_backends()}"
         )
     return raw
+
+
+def addr_family(explicit=None) -> str:
+    """The validated address family: ``v4`` or ``v6``.
+
+    ``explicit`` wins over ``$REPRO_ADDR_FAMILY`` over the default
+    ``v4``.  The family decides the address representation end to end
+    (int64 vs 128-bit ``S16``; see :mod:`repro.core.addrspace`) and is
+    recorded in campaign specs and checkpoint manifests so a resume
+    can reject a family mismatch.
+    """
+    raw, source = _resolve(explicit, ENV_ADDR_FAMILY, "v4")
+    value = str(raw).strip().lower()
+    if value not in ADDR_FAMILIES:
+        choices = ", ".join(repr(f) for f in ADDR_FAMILIES)
+        raise ValueError(
+            f"unknown address family {raw!r} (from {source}); "
+            f"choose one of {choices}"
+        )
+    return value

@@ -22,6 +22,7 @@ wave accounting, and status JSON to an uninterrupted run.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -30,7 +31,13 @@ import numpy as np
 from repro import obs
 from repro.bgp.table import LESS_SPECIFIC, MORE_SPECIFIC
 from repro.core.tass import TassStrategy
-from repro.env import count_backend, scan_executor, scan_shards
+from repro.env import (
+    ENV_ADDR_FAMILY,
+    addr_family,
+    count_backend,
+    scan_executor,
+    scan_shards,
+)
 from repro.orchestrator.checkpoint import CheckpointStore
 from repro.orchestrator.pacing import PacedTargets, TokenBucket
 from repro.orchestrator.waves import (
@@ -124,6 +131,12 @@ class CampaignSpec:
     probes_per_sec: float | None = None
     use_blocklist: bool = False
     scan_seed: int = 0
+    #: Address family (``"v4"``/``"v6"``); ``None`` resolves from
+    #: ``$REPRO_ADDR_FAMILY``, then the preset's own family, then v4.
+    family: str | None = None
+    #: v6 only: pseudorandom probe draws per selected prefix on top of
+    #: the hitlist seeding (ignored for v4, which scans exhaustively).
+    samples_per_prefix: int = 64
     #: Bounded retries when the executor's infrastructure collapses
     #: mid-wave (:class:`~repro.scan.executors.ExecutorFailure`): the
     #: wave re-runs from its last checkpointed shard, up to this many
@@ -158,6 +171,8 @@ class CampaignSpec:
             raise ValueError("wave_retries must be >= 0")
         if self.wave_retry_backoff < 0:
             raise ValueError("wave_retry_backoff must be >= 0")
+        if self.samples_per_prefix < 0:
+            raise ValueError("samples_per_prefix must be >= 0")
 
     def resolved(self) -> "CampaignSpec":
         """Pin the shard/executor/backend knobs (argument > env > default).
@@ -174,11 +189,32 @@ class CampaignSpec:
                 "pacing (probes_per_sec) requires the serial executor: "
                 "a token bucket cannot be shared across worker processes"
             )
+        if self.family is None and not os.environ.get(ENV_ADDR_FAMILY):
+            # Neither argument nor environment: a preset that is
+            # intrinsically one family (e.g. "v6-tiny") implies it.
+            from repro.census.synth import PRESETS
+
+            preset_spec = PRESETS.get(self.preset)
+            family = preset_spec.family if preset_spec else "v4"
+        else:
+            family = addr_family(self.family)
+        if family == "v6":
+            if self.explore_frac > 0.0:
+                raise ValueError(
+                    "explore_frac is v4-only: the v6 unselected space "
+                    "cannot be complement-sampled exhaustively"
+                )
+            if self.use_blocklist:
+                raise ValueError(
+                    "use_blocklist is v4-only: the built-in blocklist "
+                    "holds IPv4 reserved ranges"
+                )
         return dataclasses.replace(
             self,
             shards=scan_shards(self.shards),
             executor=executor,
             backend=count_backend(self.backend),
+            family=family,
         )
 
     def to_dict(self) -> dict:
@@ -234,6 +270,10 @@ class _State:
     records: list = field(default_factory=list)
     shard_results: list = field(default_factory=list)
     mask: np.ndarray | None = None
+    #: v6 only: the snapshot month whose addresses seed the hitlist —
+    #: frozen at the last reseed so non-reseed waves keep probing the
+    #: known hosts of the wave that planned the selection.
+    hitlist_month: int = 0
     finished: bool = False
     budget_exhausted: bool = False
 
@@ -250,6 +290,12 @@ class CampaignRunner:
                 preset=self.spec.preset, seed=self.spec.dataset_seed
             )
         self.dataset = dataset
+        dataset_family = getattr(dataset, "family", "v4")
+        if dataset_family != self.spec.family:
+            raise ValueError(
+                f"campaign family {self.spec.family!r} does not match "
+                f"the dataset's address family {dataset_family!r}"
+            )
         self.series = dataset.series_for(self.spec.protocol)
         self.partition = dataset.topology.table.partition(self.spec.view)
         self.announced = self.partition.address_count()
@@ -331,6 +377,7 @@ class CampaignRunner:
             )
             for p, r, b, n in manifest["shard_results"]
         ]
+        state.hitlist_month = manifest.get("hitlist_month", 0)
         state.finished = manifest["finished"]
         state.budget_exhausted = manifest["budget_exhausted"]
         mask = np.asarray(arrays["mask"], dtype=bool)
@@ -362,6 +409,7 @@ class CampaignRunner:
                 for r in state.shard_results
             ],
             "rng_state": self._rng.bit_generator.state,
+            "hitlist_month": state.hitlist_month,
             "finished": state.finished,
             "budget_exhausted": state.budget_exhausted,
         }
@@ -572,6 +620,7 @@ class CampaignRunner:
             mask = np.zeros(len(self.partition), dtype=bool)
             mask[selection.indices] = True
             state.mask = mask
+            state.hitlist_month = plan.month
         state.wave_reseeded = reseeded
         state.wave_planned = True
 
@@ -591,8 +640,9 @@ class CampaignRunner:
         if not state.wave_planned:
             self._plan_wave(plan, snapshot)
         selected_prefixes = int(state.mask.sum())
-        selected_addresses = int(
-            self.partition.sizes[state.mask].sum()
+        # Exact under both families (128-bit sizes overflow float64).
+        selected_addresses = self.partition.masked_address_count(
+            state.mask
         )
 
         pacer = None
@@ -665,6 +715,15 @@ class CampaignRunner:
         # distributed Coordinator, which re-dials the address book —
         # the pre-started remote fleet reconnects and the wave
         # continues from the checkpoint stream.
+        seeding = {}
+        if spec.family == "v6":
+            # The hitlist is the last reseed's planning snapshot — the
+            # campaign's known-host list — and stays fixed until the
+            # next reseed, so resumes rebuild the identical seeding.
+            seeding = dict(
+                hitlist=self.series[state.hitlist_month].addresses.values,
+                samples=spec.samples_per_prefix,
+            )
         try:
             while True:
                 completed = list(state.shard_results)
@@ -683,6 +742,7 @@ class CampaignRunner:
                         on_shard=on_shard,
                         completed=completed,
                         wrap_targets=wrap,
+                        **seeding,
                     )
                     self._absorb_executor_telemetry()
                     break

@@ -59,7 +59,9 @@ def _fsync_path(path: Path) -> None:
 #: v2: the manifest carries ``wave_attempts`` (wave-level retry budget).
 #: v3: the manifest carries ``array_sha256`` (per-array integrity
 #: digests, verified on every load).
-CHECKPOINT_VERSION = 3
+#: v4: the manifest carries ``hitlist_month`` (v6 hitlist seeding) and
+#: the spec carries ``family``/``samples_per_prefix``.
+CHECKPOINT_VERSION = 4
 
 #: Bump when the ``checkpoints.json`` journal schema changes shape.
 JOURNAL_VERSION = 1

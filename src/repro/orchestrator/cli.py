@@ -86,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--use-blocklist", action="store_true")
     plan.add_argument("--scan-seed", type=int, default=0)
     plan.add_argument(
+        "--family",
+        default=None,
+        choices=("v4", "v6"),
+        help="address family (default: $REPRO_ADDR_FAMILY, then the "
+        "preset's own family, then v4)",
+    )
+    plan.add_argument(
+        "--samples-per-prefix",
+        type=int,
+        default=64,
+        help="v6 only: pseudorandom probe draws per selected prefix "
+        "on top of the hitlist seeding",
+    )
+    plan.add_argument(
         "--wave-retries",
         type=int,
         default=0,
@@ -196,6 +210,8 @@ def _spec_from_args(args) -> CampaignSpec:
         probes_per_sec=args.probes_per_sec,
         use_blocklist=args.use_blocklist,
         scan_seed=args.scan_seed,
+        family=args.family,
+        samples_per_prefix=args.samples_per_prefix,
         wave_retries=args.wave_retries,
         wave_retry_backoff=args.wave_retry_backoff,
     ).resolved()
@@ -214,8 +230,9 @@ def _render_plan(spec: CampaignSpec, runner: CampaignRunner) -> str:
     lines = [
         f"campaign {spec.name!r}: {spec.waves} wave(s) over preset "
         f"{spec.preset!r} / protocol {spec.protocol!r}",
-        f"  phi={spec.phi} view={spec.view} shards={spec.shards} "
-        f"executor={spec.executor} backend={spec.backend}",
+        f"  phi={spec.phi} view={spec.view} family={spec.family} "
+        f"shards={spec.shards} executor={spec.executor} "
+        f"backend={spec.backend}",
         f"  reseed={spec.reseed.to_dict()} explore_frac="
         f"{spec.explore_frac} budget={spec.probe_budget} "
         f"pace={spec.probes_per_sec}",

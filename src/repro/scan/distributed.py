@@ -36,7 +36,8 @@ Protocol (all frames are ``>I``-length-prefixed UTF-8 JSON):
   abort a healthy campaign.
 - ``init``     coordinator → worker: responsive set, blocklist, engine
   batch size, protocol, and the shared shard geometry
-  (``starts``/``ends``/``seed``/``shards``) — sent once per worker.
+  (``starts``/``ends``/``seed``/``shards``, plus the v6-only
+  ``hitlist``/``samples`` seeding) — sent once per worker.
 - ``shard``    coordinator → worker: ``{"type": "shard", "shard": i}``
   — drain the ``i``-th sub-walk of the init geometry.  May carry a
   ``fault`` object when a chaos plan armed one for this attempt.
@@ -1163,6 +1164,12 @@ class Coordinator:
                 or t.shards != geometry.shards
                 or not np.array_equal(t.starts, geometry.starts)
                 or not np.array_equal(t.ends, geometry.ends)
+                or t.samples != geometry.samples
+                or (t.hitlist is None) != (geometry.hitlist is None)
+                or (
+                    t.hitlist is not None
+                    and not np.array_equal(t.hitlist, geometry.hitlist)
+                )
             ):
                 raise ValueError(
                     "distributed executor requires shards of one walk "
@@ -1184,6 +1191,18 @@ class Coordinator:
             "ends": encode_array(geometry.ends),
             "seed": int(geometry.seed),
             "shards": int(geometry.shards),
+            # v6-only seeding; absent/None for v4 so old workers that
+            # ignore unknown keys keep interoperating.
+            "hitlist": (
+                encode_array(geometry.hitlist)
+                if geometry.hitlist is not None
+                else None
+            ),
+            "samples": (
+                int(geometry.samples)
+                if geometry.samples is not None
+                else None
+            ),
         }
         self._max_failures = max(8, 2 * len(targets))
         pending = deque(range(len(targets)))
@@ -1441,6 +1460,12 @@ def _session(
                 decode_array(message["ends"]),
                 message["seed"],
                 message["shards"],
+                (
+                    decode_array(message["hitlist"])
+                    if message.get("hitlist") is not None
+                    else None
+                ),
+                message.get("samples"),
             )
             # Handshake done: a listen worker's handshake timeout no
             # longer applies (the next shard may be a long time coming).
@@ -1471,9 +1496,14 @@ def _session(
                 _execute_fault_and_maybe_die(
                     stream, kind, float(fault.get("delay") or 0.0)
                 )
-            starts, ends, seed, shards = geometry
+            starts, ends, seed, shards, hitlist, samples = geometry
             targets = IntervalTargets(
-                (starts, ends), seed=seed, shard=shard, shards=shards
+                (starts, ends),
+                seed=seed,
+                shard=shard,
+                shards=shards,
+                hitlist=hitlist,
+                samples=samples,
             )
             began = time.monotonic()
             result = engine.run(targets, truth, protocol=protocol)

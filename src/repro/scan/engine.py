@@ -45,15 +45,18 @@ class ScanResult:
 
 
 def _responsive_values(responsive) -> np.ndarray:
-    """The sorted unique int64 address array behind any truth spec.
+    """The sorted unique address array behind any truth spec.
 
-    Accepts an :class:`AddressSet` or a raw array.  A raw array that is
-    already sorted and duplicate-free is used as-is — no AddressSet
-    re-wrap (and no ``np.unique`` re-sort) per call.
+    Accepts an :class:`AddressSet` or a raw array (``int64`` for v4,
+    ``S16`` for v6 — see :mod:`repro.core.addrspace`).  A raw array
+    that is already sorted and duplicate-free is used as-is — no
+    AddressSet re-wrap (and no ``np.unique`` re-sort) per call.
     """
     if isinstance(responsive, AddressSet):
         return responsive.values
-    arr = np.asarray(responsive, dtype=np.int64)
+    arr = np.asarray(responsive)
+    if arr.dtype.kind != "S":
+        arr = np.asarray(responsive, dtype=np.int64)
     if arr.ndim == 1 and (arr.size < 2 or bool((arr[1:] > arr[:-1]).all())):
         return arr
     return AddressSet(arr).values
@@ -98,7 +101,9 @@ class ScanEngine:
             # needles — several times faster than random-order lookups.
             if size > 1 and not bool((batch[1:] >= batch[:-1]).all()):
                 batch = np.sort(batch)
-            lo, hi = int(batch[0]), int(batch[-1])
+            # Raw scalars, not int(): v6 batches are 16-byte strings,
+            # and searchsorted takes both families' scalars directly.
+            lo, hi = batch[0], batch[-1]
             # Blocklist fast path: two scalar lookups decide whether the
             # batch's [lo, hi] span touches any blocked range at all;
             # target streams stay inside announced space, so the full

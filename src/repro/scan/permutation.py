@@ -26,20 +26,35 @@ import numpy as np
 __all__ = ["CyclicPermutation", "PermutationShard"]
 
 _INT64_SAFE_MOD = 1 << 31  # (p-1)^2 still fits in int64 below this
+# Above this prime the 16-bit-split _mulmod partial sums (< p * 2^17)
+# would no longer fit in int64; the walk switches to exact Python-int
+# arithmetic (object arrays), which is what lets one cyclic walk cover
+# a /32..' /64 IPv6 prefix (n up to 2^96) without overflow.
+_BIGINT_MOD = 1 << 45
+
+# Witnesses proving Miller-Rabin deterministic for n < 3.317e24.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_MR_PROVEN_BOUND = 3_317_044_064_679_887_385_961_981
+# Beyond the proven bound (128-bit moduli) extra witnesses push the
+# error probability below 4^-28 — negligible against any hardware fault.
+_MR_EXTRA_WITNESSES = (41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89)
 
 
 def _is_prime(n: int) -> bool:
-    """Deterministic Miller-Rabin for n < 3.3e24 (fixed witness set)."""
+    """Miller-Rabin: deterministic for n < 3.3e24, near-certain above."""
     if n < 2:
         return False
-    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+    for p in _MR_WITNESSES:
         if n % p == 0:
             return n == p
     d, s = n - 1, 0
     while d % 2 == 0:
         d //= 2
         s += 1
-    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+    witnesses = _MR_WITNESSES
+    if n >= _MR_PROVEN_BOUND:
+        witnesses = _MR_WITNESSES + _MR_EXTRA_WITNESSES
+    for a in witnesses:
         x = pow(a, d, n)
         if x in (1, n - 1):
             continue
@@ -52,16 +67,72 @@ def _is_prime(n: int) -> bool:
     return True
 
 
+#: Trial-division ceiling: factors below this are stripped the cheap
+#: way; anything left is handed to Pollard rho.  2^20 keeps the trial
+#: loop under ~1M iterations while making rho's job easy (every
+#: surviving factor is > 2^20, so a composite survivor is > 2^40).
+_TRIAL_LIMIT = 1 << 20
+
+
+def _rho_split(n: int) -> int:
+    """A nontrivial factor of composite odd ``n`` (Brent's rho).
+
+    Deterministic: the polynomial offset ``c`` sweeps 1, 2, 3, ... so
+    the same ``n`` always factors the same way.  The gcd is batched
+    over 128-step products — one gcd per batch instead of per step.
+    """
+    for c in range(1, 1 << 10):
+        y, m = 2, 128
+        g = r = q = 1
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(m, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = math.gcd(q, n)
+                k += m
+            r *= 2
+        if g == n:
+            # The batch overshot: replay one step at a time.
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+        if g != n:
+            return g
+    raise ArithmeticError(f"rho failed to split {n}")
+
+
 def _prime_factors(n: int):
+    """Distinct prime factors; Pollard rho beyond the trial range.
+
+    Group-parameter search needs the factors of ``p - 1`` to test for
+    generators; with 128-bit moduli (v6 prefix walks) trial division
+    alone would run to sqrt(p) ~ 2^48, so composite survivors are
+    split recursively with Brent's rho instead.
+    """
     factors = set()
     d = 2
-    while d * d <= n:
+    while d * d <= n and d <= _TRIAL_LIMIT:
         while n % d == 0:
             factors.add(d)
             n //= d
         d += 1 if d == 2 else 2
-    if n > 1:
-        factors.add(n)
+    if n == 1:
+        return factors
+    pending = [n]
+    while pending:
+        m = pending.pop()
+        if _is_prime(m):
+            factors.add(m)
+            continue
+        split = _rho_split(m)
+        pending.extend((split, m // split))
     return factors
 
 
@@ -104,6 +175,15 @@ def _mulmod(values, scalar: int, p: int, out=None, tmp=None):
     out += tmp
     out %= p
     return out
+
+
+@lru_cache(maxsize=32)
+def _power_table_big(p: int, g: int, m: int) -> tuple:
+    """``(g^0, ..., g^{m-1}) mod p`` as Python ints (big-modulus walks)."""
+    table = [1] * m
+    for i in range(1, m):
+        table[i] = table[i - 1] * g % p
+    return tuple(table)
 
 
 @lru_cache(maxsize=128)
@@ -170,11 +250,12 @@ class CyclicPermutation:
         return PermutationShard(self, index, count)
 
     def __iter__(self):
-        # Yield straight from the int64 batch arrays: no per-batch
-        # list materialisation, constant memory, lazy under early exit
-        # (see bench_scan_engine.py::test_iter_* for the trade-off).
+        # Yield Python ints (``tolist`` per batch): scalar iteration is
+        # the JSON/telemetry boundary where ``np.int64`` leaks bite, and
+        # per-batch tolist is the faster variant anyway (see
+        # bench_scan_engine.py::test_iter_* for the measured trade-off).
         for batch in self.batches():
-            yield from batch
+            yield from batch.tolist()
 
 
 class PermutationShard:
@@ -208,6 +289,9 @@ class PermutationShard:
         if total == 0:
             return
         m = min(batch_size, total)
+        if p > _BIGINT_MOD:
+            yield from self._batches_bigint(m)
+            return
         powers = _power_table(p, self._gen, m)
         step = pow(self._gen, m, p)
         cursor = self._start
@@ -235,3 +319,31 @@ class PermutationShard:
                 if kept.size:
                     kept -= 1
                     yield kept
+
+    def _batches_bigint(self, m: int):
+        """Exact Python-int walk for primes beyond the int64-safe range.
+
+        Yields ``object``-dtype arrays of Python ints — the same cyclic
+        construction (generator ``g^count``, start ``start * g^i``),
+        just with arbitrary-precision arithmetic so ``n`` may reach the
+        2^96 addresses of an announced /32 IPv6 prefix.
+        """
+        p, n = self.prime, self.n
+        total = self._total
+        powers = _power_table_big(p, self._gen, min(m, total))
+        step = pow(self._gen, len(powers), p)
+        cursor = self._start
+        walked = 0
+        while walked < total:
+            k = min(len(powers), total - walked)
+            kept = [
+                v - 1
+                for pw in powers[:k]
+                if (v := cursor * pw % p) <= n
+            ]
+            cursor = cursor * step % p
+            walked += k
+            if kept:
+                out = np.empty(len(kept), dtype=object)
+                out[:] = kept
+                yield out

@@ -26,6 +26,8 @@ and ``REPRO_SCAN_EXECUTOR`` environment variables.
 
 from __future__ import annotations
 
+import math as _math
+import random as _random
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,25 +47,39 @@ __all__ = [
 ]
 
 
+def _coerce_bounds(values) -> np.ndarray:
+    """Interval bounds in family dtype: S16 passes through, else int64."""
+    arr = np.asarray(values)
+    if arr.dtype.kind == "S":
+        return arr
+    return np.asarray(values, dtype=np.int64)
+
+
 def _intervals_of(spec):
     """Normalise any target spec to sorted disjoint (starts, ends)."""
     if hasattr(spec, "starts") and hasattr(spec, "ends"):
-        starts = np.asarray(spec.starts, dtype=np.int64)
-        ends = np.asarray(spec.ends, dtype=np.int64)
+        starts = _coerce_bounds(spec.starts)
+        ends = _coerce_bounds(spec.ends)
     elif isinstance(spec, (int, np.integer)):
         starts = np.zeros(1, dtype=np.int64)
         ends = np.asarray([int(spec)], dtype=np.int64)
     elif isinstance(spec, tuple) and len(spec) == 2:
-        starts = np.asarray(spec[0], dtype=np.int64)
-        ends = np.asarray(spec[1], dtype=np.int64)
+        starts = _coerce_bounds(spec[0])
+        ends = _coerce_bounds(spec[1])
     else:
         prefixes = sorted(spec, key=lambda p: p.start)
-        starts = np.fromiter(
-            (p.start for p in prefixes), np.int64, len(prefixes)
-        )
-        ends = np.fromiter(
-            (p.end for p in prefixes), np.int64, len(prefixes)
-        )
+        if prefixes and prefixes[0].bits == 128:
+            from repro.core.addrspace import V6
+
+            starts = V6.encode([p.start for p in prefixes])
+            ends = V6.encode([p.end for p in prefixes])
+        else:
+            starts = np.fromiter(
+                (p.start for p in prefixes), np.int64, len(prefixes)
+            )
+            ends = np.fromiter(
+                (p.end for p in prefixes), np.int64, len(prefixes)
+            )
     if starts.shape != ends.shape:
         raise ValueError("starts/ends length mismatch")
     if np.any(ends < starts):
@@ -80,38 +96,115 @@ class IntervalTargets:
     :class:`CyclicPermutation` walks it, and this object drains the
     ``shard``-th of ``shards`` strided sub-walks, mapping each batch
     back to real addresses with one ``searchsorted``.  The whole state
-    is five plain values, so shards pickle cheaply and regenerate their
-    probe order inside worker processes.
+    is a handful of plain values, so shards pickle cheaply and
+    regenerate their probe order inside worker processes.
+
+    **v6 mode** (S16 interval bounds): exhaustive enumeration of 2^96
+    addresses is off the table, so the flat space is the *probe budget*
+    instead — ``hitlist`` entries (known-host seeding, filtered to the
+    covered intervals) followed by ``samples`` pseudorandom draws per
+    interval (a per-interval affine walk ``start + (b + a*j) mod size``
+    with ``gcd(a, size) = 1``, so draws within one interval never
+    collide).  The flat space still fits int64, so the same int64
+    cyclic walk shards it, and the shard/executor-invariance contract
+    carries over verbatim.
     """
 
-    __slots__ = ("starts", "ends", "seed", "shard", "shards", "_offsets")
+    __slots__ = (
+        "starts",
+        "ends",
+        "seed",
+        "shard",
+        "shards",
+        "hitlist",
+        "samples",
+        "_offsets",
+        "_v6",
+    )
 
-    def __init__(self, spec, seed: int = 0, shard: int = 0, shards: int = 1):
+    def __init__(
+        self,
+        spec,
+        seed: int = 0,
+        shard: int = 0,
+        shards: int = 1,
+        hitlist=None,
+        samples=None,
+    ):
         if shards < 1 or not 0 <= shard < shards:
             raise ValueError("need 0 <= shard < shards")
         self.starts, self.ends = _intervals_of(spec)
         self.seed = int(seed)
         self.shard = int(shard)
         self.shards = int(shards)
+        if self.starts.dtype.kind == "S":
+            self._init_v6(hitlist, samples)
+            return
+        if hitlist is not None or samples is not None:
+            raise ValueError(
+                "hitlist/samples seeding is v6-only; the v4 family "
+                "enumerates its intervals exhaustively"
+            )
+        self.hitlist = None
+        self.samples = None
+        self._v6 = None
         sizes = self.ends - self.starts
         self._offsets = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(sizes)]
         )
 
+    def _init_v6(self, hitlist, samples) -> None:
+        from repro.bgp.table import interval_membership
+        from repro.core.addrspace import V6
+
+        if hitlist is None:
+            hitlist = V6.empty()
+        hitlist = np.unique(V6.asarray(hitlist))
+        if len(self.starts):
+            hitlist = hitlist[
+                interval_membership(self.starts, self.ends, hitlist)
+            ]
+        hitlist.setflags(write=False)
+        self.hitlist = hitlist
+        self.samples = int(samples) if samples is not None else 0
+        if self.samples < 0:
+            raise ValueError("samples must be >= 0")
+        start_ints = V6.decode(self.starts)
+        size_ints = V6.interval_sizes_exact(self.starts, self.ends)
+        budgets = [min(size, self.samples) for size in size_ints]
+        offsets = np.zeros(len(budgets) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(budgets, dtype=np.int64), out=offsets[1:])
+        offsets += len(hitlist)
+        self._offsets = offsets
+        # Per-interval affine draw parameters, derived deterministically
+        # from (seed, interval index) so every shard worker rebuilds the
+        # identical mapping from the pickled state alone.
+        params = []
+        for i, size in enumerate(size_ints):
+            rng = _random.Random(f"v6-sample:{self.seed}:{i}")
+            if size <= 1:
+                params.append((start_ints[i], size, 0, 1))
+                continue
+            b = rng.randrange(size)
+            a = rng.randrange(1, size) | 1
+            while _math.gcd(a, size) != 1:
+                a = (a + 2) % size or 1
+            params.append((start_ints[i], size, b, a))
+        self._v6 = params
+
     def address_count(self) -> int:
-        """Total covered addresses (all shards jointly)."""
+        """Flat-space size: covered addresses (v4) or probe budget (v6)."""
         return int(self._offsets[-1])
 
     def batches(self, batch_size: int = 1 << 16):
-        """Yield permuted int64 address batches for this shard.
+        """Yield permuted address batches for this shard.
 
-        Each batch is sorted in place before the flat-coordinate ->
-        address mapping: probe order within a batch is irrelevant to
-        every consumer (the engine only counts), sorting makes the
-        mapping ``searchsorted`` branch-predictable, and the engine's
-        own sorted fast path then kicks in for free.  Which addresses
-        each batch carries — and thus every merged result — is
-        unchanged.
+        Each batch is sorted before the flat-coordinate -> address
+        mapping: probe order within a batch is irrelevant to every
+        consumer (the engine only counts), sorting makes the mapping
+        ``searchsorted`` branch-predictable, and the engine's own
+        sorted fast path then kicks in for free.  Which addresses each
+        batch carries — and thus every merged result — is unchanged.
         """
         total = self.address_count()
         if total == 0:
@@ -119,27 +212,95 @@ class IntervalTargets:
         walk = CyclicPermutation(total, seed=self.seed).shard(
             self.shard, self.shards
         )
+        if self._v6 is not None:
+            yield from self._batches_v6(walk, batch_size)
+            return
         starts, offsets = self.starts, self._offsets
         for values in walk.batches(batch_size):
             values.sort()
             idx = np.searchsorted(offsets, values, side="right") - 1
             yield starts[idx] + (values - offsets[idx])
 
+    def _batches_v6(self, walk, batch_size: int):
+        from repro.core.addrspace import V6
+
+        hitlist = self.hitlist
+        n_hits = len(hitlist)
+        offsets = self._offsets
+        params = self._v6
+        for values in walk.batches(batch_size):
+            values.sort()
+            split = int(np.searchsorted(values, n_hits, side="left"))
+            parts = []
+            if split:
+                parts.append(hitlist[values[:split]])
+            coords = values[split:]
+            if coords.size:
+                idx = np.searchsorted(offsets, coords, side="right") - 1
+                sampled = []
+                for c, i in zip(coords.tolist(), idx.tolist()):
+                    start, size, b, a = params[i]
+                    j = c - int(offsets[i])
+                    sampled.append(start + (b + a * j) % size)
+                encoded = V6.encode(sampled)
+                if n_hits:
+                    # An affine sample can land on a hitlist address; the
+                    # hitlist slice already probes it, so drop the copy
+                    # (deterministic per coordinate -> shard-invariant).
+                    pos = np.searchsorted(hitlist, encoded)
+                    dup = (pos < n_hits) & (
+                        hitlist[pos.clip(max=n_hits - 1)] == encoded
+                    )
+                    encoded = encoded[~dup]
+                if encoded.size:
+                    parts.append(encoded)
+            if not parts:
+                continue
+            batch = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            yield np.sort(batch)
+
     def __getstate__(self):
-        return (self.starts, self.ends, self.seed, self.shard, self.shards)
+        if self._v6 is None:
+            # The historical five-value tuple, byte-for-byte.
+            return (
+                self.starts, self.ends, self.seed, self.shard, self.shards
+            )
+        return (
+            self.starts,
+            self.ends,
+            self.seed,
+            self.shard,
+            self.shards,
+            self.hitlist,
+            self.samples,
+        )
 
     def __setstate__(self, state):
-        starts, ends, seed, shard, shards = state
-        self.__init__((starts, ends), seed=seed, shard=shard, shards=shards)
+        starts, ends, seed, shard, shards = state[:5]
+        hitlist, samples = state[5:] if len(state) > 5 else (None, None)
+        self.__init__(
+            (starts, ends),
+            seed=seed,
+            shard=shard,
+            shards=shards,
+            hitlist=hitlist,
+            samples=samples,
+        )
 
 
-def shard_targets(spec, shards: int = 1, seed: int = 0):
-    """Split a target spec into ``shards`` disjoint target streams."""
+def shard_targets(spec, shards: int = 1, seed: int = 0, **seeding):
+    """Split a target spec into ``shards`` disjoint target streams.
+
+    ``seeding`` forwards the v6-only ``hitlist``/``samples`` keywords
+    to every :class:`IntervalTargets` shard.
+    """
     if shards < 1:
         raise ValueError("shards must be >= 1")
     starts, ends = _intervals_of(spec)
     return [
-        IntervalTargets((starts, ends), seed=seed, shard=i, shards=shards)
+        IntervalTargets(
+            (starts, ends), seed=seed, shard=i, shards=shards, **seeding
+        )
         for i in range(shards)
     ]
 
@@ -214,6 +375,8 @@ def run_sharded(
     on_shard=None,
     completed=None,
     wrap_targets=None,
+    hitlist=None,
+    samples=None,
 ) -> ShardedScanResult:
     """Scan a target spec across ``shards`` engine workers and merge.
 
@@ -237,6 +400,10 @@ def run_sharded(
     - ``wrap_targets(shard_targets)`` wraps each shard's target stream
       before draining (e.g. in a pacer); serial executor only, since a
       wrapper's state cannot be shared across worker processes.
+
+    ``hitlist``/``samples`` are the v6-only seeding knobs forwarded to
+    every :class:`IntervalTargets` shard (see its docstring); passing
+    either for a v4 spec is an error.
     """
     shards = scan_shards(shards)
     executor = scan_executor(executor)
@@ -246,7 +413,9 @@ def run_sharded(
         raise ValueError(
             f"{len(done)} completed shard results for a {shards}-shard scan"
         )
-    targets = shard_targets(spec, shards=shards, seed=seed)[len(done):]
+    targets = shard_targets(
+        spec, shards=shards, seed=seed, hitlist=hitlist, samples=samples
+    )[len(done):]
     if not isinstance(responsive, AddressSet):
         responsive = AddressSet(responsive)
     values = responsive.values

@@ -39,9 +39,36 @@ class PrefixTargets:
             perm = CyclicPermutation(
                 prefix.size, seed=self._seed + i * _SEED_MIX
             )
+            if getattr(prefix, "bits", 32) == 128:
+                # 128-bit bases overflow int64: offset in Python ints
+                # (the permutation already yields them for big sizes)
+                # and hand back the S16 wire form the v6 stack speaks.
+                from repro.core.addrspace import V6
+
+                base = int(prefix.network)
+                for values in perm.batches(batch_size):
+                    yield V6.encode(
+                        [base + v for v in values.tolist()]
+                    )
+                continue
             base = np.int64(prefix.network)
             for values in perm.batches(batch_size):
                 yield base + values
+
+    def __iter__(self):
+        """Yield probe addresses one at a time, as Python ints.
+
+        Scalar iteration is the JSON/telemetry boundary: ``np.int64``
+        (or a 16-byte ``np.bytes_``) leaking out of here breaks
+        ``json.dumps`` downstream, so both families normalize.
+        """
+        for batch in self.batches():
+            if batch.dtype.kind == "S":
+                from repro.core.addrspace import space_of
+
+                yield from space_of(batch).decode(batch)
+            else:
+                yield from batch.tolist()
 
 
 class RangeTargets:
